@@ -1,0 +1,39 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper.  Besides timing
+(via pytest-benchmark), each bench *prints* its reproduction table and
+writes it under ``benchmarks/results/`` so the artifacts survive the run —
+EXPERIMENTS.md indexes those files against the paper.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Iterable, Sequence
+
+from repro.metrics.report import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduction artifact and persist it to the results dir."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def emit_table(
+    name: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    title: str = "",
+    notes: Sequence[str] = (),
+) -> str:
+    """Format, print, and persist one table; returns the rendered text."""
+    text = format_table(headers, rows, title=title)
+    if notes:
+        text += "\n" + "\n".join(notes)
+    emit(name, text)
+    return text

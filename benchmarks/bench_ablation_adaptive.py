@@ -1,0 +1,168 @@
+"""Experiment AB3 — extension: adaptive approach selection vs fixed choices.
+
+The paper's conclusion calls for "quantitative measures to better guide
+the decision process"; :class:`repro.analysis.adaptive.AdaptiveSelector`
+automates the §VI-B rule with live estimates.  This bench runs a workload
+that *shifts regime* half-way (quiet, then a policy-publication burst) and
+compares the adaptive policy against each fixed approach on time per
+successful commit.
+
+Claims asserted: (1) the selector's choices track the §VI-B rule — the
+optimistic pair while quiet, the churn-tolerant pair during the storm;
+(2) it avoids the pathological fixed choices (beats always-Continuous,
+which taxes the quiet phase, and the worst fixed approach overall).  Note
+that fixed Deferred is a strong baseline on this metric: §VI-B's guidance
+is about *within-pair* choice and rollback exposure, not raw throughput —
+see EXPERIMENTS.md.
+"""
+
+import pytest
+
+from repro.analysis.adaptive import AdaptiveSelector, run_adaptive_batch
+from repro.cloud.config import CloudConfig
+from repro.core.approaches import get_approach
+from repro.core.consistency import ConsistencyLevel
+from repro.transactions.transaction import Query, Transaction
+from repro.workloads.testbed import build_cluster
+from repro.workloads.updates import PolicyUpdateProcess
+
+from _common import emit_table
+
+APPROACHES = ("deferred", "punctual", "incremental", "continuous")
+PHASE_TXNS = 10
+TXN_LEN = 3
+
+
+def make_transactions(cluster, credential, prefix):
+    servers = list(cluster.server_names())
+    txns = []
+    for index in range(PHASE_TXNS):
+        queries = tuple(
+            Query.read(
+                f"{prefix}{index}-q{position}",
+                [cluster.catalog.items_on(servers[position % len(servers)])[0]],
+            )
+            for position in range(TXN_LEN)
+        )
+        txns.append(Transaction(f"{prefix}{index}", "alice", queries, (credential,)))
+    return txns
+
+
+def run_policy(policy_name):
+    """policy_name: one of APPROACHES, or 'adaptive'."""
+    config = CloudConfig()
+    config.replication_delay = (2.0, 10.0)
+    cluster = build_cluster(n_servers=4, seed=99, config=config)
+    credential = cluster.issue_role_credential("alice")
+    selector = AdaptiveSelector()
+    if policy_name == "adaptive":
+        selector.attach(cluster)
+
+    quiet = make_transactions(cluster, credential, "quiet")
+    stormy = make_transactions(cluster, credential, "storm")
+
+    from repro.errors import AbortReason
+
+    retryable = (AbortReason.POLICY_INCONSISTENCY, AbortReason.PROOF_FAILED)
+
+    def scenario():
+        def run_batch(batch):
+            """Run a batch, retrying policy-caused aborts (max 3 attempts)."""
+
+            def driver():
+                outcomes = []
+                for txn in batch:
+                    current, attempt = txn, 0
+                    while True:
+                        approach = (
+                            selector.choose(current)
+                            if policy_name == "adaptive"
+                            else get_approach(policy_name)
+                        )
+                        outcome = yield cluster.tm.submit(
+                            current, approach, ConsistencyLevel.VIEW
+                        )
+                        if policy_name == "adaptive":
+                            selector.on_transaction_finished(
+                                outcome.latency, outcome.queries_total
+                            )
+                        outcomes.append(outcome)
+                        if (
+                            outcome.committed
+                            or outcome.abort_reason not in retryable
+                            or attempt >= 3
+                        ):
+                            break
+                        attempt += 1
+                        current = Transaction(
+                            f"{txn.txn_id}~r{attempt}", txn.user, txn.queries, txn.credentials
+                        )
+                return outcomes
+
+            return driver()
+
+        outcomes = yield from run_batch(quiet)
+        storm = PolicyUpdateProcess(
+            cluster,
+            "app",
+            interval=6.0,
+            rng=cluster.rng.stream("storm"),
+            mode="alternate",
+            restrict_to_role="senior",
+        )
+        storm.start()
+        yield cluster.env.timeout(30.0)
+        outcomes += yield from run_batch(stormy)
+        return outcomes
+
+    outcomes = cluster.env.run(until=cluster.env.process(scenario()))
+    total_time = sum(outcome.latency for outcome in outcomes)
+    commits = sum(1 for outcome in outcomes if outcome.committed)
+    return total_time / max(1, commits), commits, len(outcomes), selector
+
+
+def collect():
+    rows = []
+    scores = {}
+    adaptive_selector = None
+    for name in APPROACHES + ("adaptive",):
+        score, commits, attempts, selector = run_policy(name)
+        scores[name] = score
+        if name == "adaptive":
+            adaptive_selector = selector
+        rows.append([name, commits, attempts, round(score, 1)])
+    # (1) The choices track the §VI-B rule across the regime shift.
+    quiet_choices = {
+        choice
+        for txn_id, choice in adaptive_selector.choices.items()
+        if txn_id.startswith("quiet")
+    }
+    storm_choices = {
+        choice
+        for txn_id, choice in adaptive_selector.choices.items()
+        if txn_id.startswith("storm")
+    }
+    assert quiet_choices <= {"deferred", "punctual"}, quiet_choices
+    assert storm_choices <= {"incremental", "continuous"}, storm_choices
+    # (2) Adaptive avoids the pathological fixed choices.
+    assert scores["adaptive"] < scores["continuous"]
+    assert scores["adaptive"] < max(scores[name] for name in APPROACHES)
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_adaptive_selection(benchmark):
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    emit_table(
+        "ablation_adaptive",
+        ["policy", "commits", "attempts", "time per commit"],
+        rows,
+        title="AB3: adaptive §VI-B selection vs fixed approaches (regime shift)",
+        notes=[
+            "Workload: 10 quiet transactions, then a tighten/restore policy",
+            "storm (flip every ~6 units) and 10 more; clients retry policy",
+            "aborts.  The adaptive selector uses Deferred/Punctual while",
+            "quiet and switches to the churn-tolerant pair once its",
+            "update-interval estimate collapses.",
+        ],
+    )

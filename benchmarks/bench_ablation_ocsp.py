@@ -1,0 +1,89 @@
+"""Experiment AB4 — ablation: online OCSP checking vs the local oracle.
+
+The paper assumes each CA offers an online status method (RFC 2560) but
+does not cost it.  This bench quantifies the assumption: the same workload
+with revocation checked through the networked OCSP responder versus the
+zero-latency oracle.  Claims asserted: identical commit verdicts, zero
+change to protocol (Table I) message counts, and a latency overhead that
+grows with the number of proof evaluations the approach performs.
+"""
+
+import pytest
+
+from repro.cloud.config import CloudConfig
+from repro.cloud.messages import CAT_OCSP
+from repro.core.consistency import ConsistencyLevel
+from repro.sim.network import FixedLatency
+from repro.workloads.generator import one_query_per_server
+from repro.workloads.testbed import build_cluster
+
+from _common import emit_table
+
+APPROACHES = ("deferred", "punctual", "incremental", "continuous")
+N = 4
+
+
+def run_one(approach, online):
+    config = CloudConfig(latency=FixedLatency(1.0), use_online_ocsp=online)
+    cluster = build_cluster(n_servers=N, seed=47, config=config)
+    credential = cluster.issue_role_credential("alice")
+    txn = one_query_per_server(
+        cluster.catalog, "alice", [credential], txn_id=f"ab4-{approach}-{online}"
+    )
+    outcome = cluster.run_transaction(txn, approach, ConsistencyLevel.VIEW)
+    ocsp_messages = cluster.metrics.messages.by_category[CAT_OCSP]
+    return outcome, ocsp_messages
+
+
+def collect():
+    rows = []
+    overheads = {}
+    for approach in APPROACHES:
+        local, _ = run_one(approach, online=False)
+        online, ocsp_messages = run_one(approach, online=True)
+        assert local.committed and online.committed
+        # Protocol accounting is untouched by status traffic.
+        assert local.protocol_messages == online.protocol_messages
+        assert local.proof_evaluations == online.proof_evaluations
+        overhead = online.latency - local.latency
+        overheads[approach] = (overhead, online.proof_evaluations)
+        rows.append(
+            [
+                approach,
+                round(local.latency, 1),
+                round(online.latency, 1),
+                round(overhead, 1),
+                online.proof_evaluations,
+                ocsp_messages,
+            ]
+        )
+    # More proof evaluations -> more status round trips -> more overhead:
+    # continuous (most evals) must pay at least as much as incremental
+    # (fewest evals).
+    assert overheads["continuous"][0] >= overheads["incremental"][0] - 1e-6
+    # And punctual (2u evals) pays more than deferred (u evals).
+    assert overheads["punctual"][0] >= overheads["deferred"][0] - 1e-6
+    return rows
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_online_ocsp(benchmark):
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    emit_table(
+        "ablation_ocsp",
+        [
+            "approach",
+            "latency (oracle)",
+            "latency (online OCSP)",
+            "overhead",
+            "proof evals",
+            "ocsp msgs",
+        ],
+        rows,
+        title="AB4: networked OCSP status checking vs zero-latency oracle",
+        notes=[
+            "Verdicts and Table I counters are identical; online checking",
+            "adds a status round trip per proof-evaluation batch, so the",
+            "overhead scales with how often an approach evaluates proofs.",
+        ],
+    )

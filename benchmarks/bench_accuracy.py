@@ -1,0 +1,131 @@
+"""Experiment AB6 — extension: decision accuracy against an oracle.
+
+Quantifies Section IV-B's qualitative statements about false decisions
+under weak consistency.  A batch of transactions runs per approach ×
+consistency level while the policy alternately tightens and restores with
+slow partial replication; every recorded proof of authorization is then
+re-judged by an omniscient oracle (the policy actually published at the
+proof's instant + true revocation state).
+
+Shape claims asserted:
+
+* Punctual under view consistency exhibits false positives AND false
+  negatives during execution — exactly the two failure modes §IV-B names.
+* Final proofs of transactions *committed under global consistency* have
+  zero false positives (ψ pins the latest version), while view-consistent
+  commits can carry stale-version false positives.
+"""
+
+import pytest
+
+from repro.analysis.accuracy import oracle_for_cluster
+from repro.cloud.config import CloudConfig
+from repro.core.consistency import ConsistencyLevel
+from repro.sim.network import FixedLatency
+from repro.transactions.transaction import Query, Transaction
+from repro.workloads.testbed import build_cluster
+from repro.workloads.updates import PolicyUpdateProcess
+
+from _common import emit_table
+
+VIEW, GLOBAL = ConsistencyLevel.VIEW, ConsistencyLevel.GLOBAL
+APPROACHES = ("deferred", "punctual", "incremental", "continuous")
+N_TXNS = 15
+
+
+def run_condition(approach, level, seed=31):
+    config = CloudConfig(latency=FixedLatency(1.0))
+    config.replication_delay = (5.0, 60.0)  # wide spread: long stale windows
+    cluster = build_cluster(n_servers=3, seed=seed, config=config)
+    oracle = oracle_for_cluster(cluster)
+    credential = cluster.issue_role_credential("alice")
+    updates = PolicyUpdateProcess(
+        cluster,
+        "app",
+        interval=18.0,
+        rng=cluster.rng.stream("updates"),
+        restrict_to_role="senior",
+        mode="alternate",
+    )
+    updates.start()
+
+    execution_proofs = []
+    committed_final_proofs = []
+    for index in range(N_TXNS):
+        txn = Transaction(
+            f"acc{index}",
+            "alice",
+            queries=(
+                Query.read(f"acc{index}-q1", ["s1/x1"]),
+                Query.read(f"acc{index}-q2", ["s2/x1"]),
+                Query.read(f"acc{index}-q3", ["s3/x1"]),
+            ),
+            credentials=(credential,),
+        )
+        process = cluster.submit(txn, approach, level)
+        outcome = cluster.env.run(until=process)
+        ctx = cluster.tm.finished[txn.txn_id]
+        execution_proofs.extend(ctx.view)
+        if outcome.committed:
+            committed_final_proofs.extend(ctx.final_proofs())
+    return (
+        oracle.report(execution_proofs),
+        oracle.report(committed_final_proofs),
+    )
+
+
+def collect():
+    rows = []
+    stats = {}
+    for level in (VIEW, GLOBAL):
+        for approach in APPROACHES:
+            all_report, committed_report = run_condition(approach, level)
+            stats[(approach, level)] = (all_report, committed_report)
+            rows.append(
+                [
+                    approach,
+                    level.value,
+                    all_report.total,
+                    all_report.count("FP"),
+                    all_report.count("FN"),
+                    f"{all_report.accuracy:.0%}",
+                    committed_report.total,
+                    committed_report.count("FP"),
+                ]
+            )
+
+    # §IV-B: both false decision modes occur for punctual under view.
+    punctual_view = stats[("punctual", VIEW)][0]
+    assert punctual_view.count("FP") > 0
+    assert punctual_view.count("FN") > 0
+    # ψ-committed final proofs are never false positives.
+    for approach in ("deferred", "punctual", "continuous"):
+        committed = stats[(approach, GLOBAL)][1]
+        assert committed.count("FP") == 0, approach
+    return rows
+
+
+@pytest.mark.benchmark(group="accuracy")
+def test_accuracy_vs_oracle(benchmark):
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    emit_table(
+        "accuracy",
+        [
+            "approach",
+            "consistency",
+            "proofs judged",
+            "FP",
+            "FN",
+            "accuracy",
+            "committed finals",
+            "FP among committed",
+        ],
+        rows,
+        title="AB6: proof decisions vs an omniscient oracle (alternating policy, slow replication)",
+        notes=[
+            "FP = granted though the published policy forbade it; FN =",
+            "denied though it allowed it (Section IV-B's two failure",
+            "modes).  Global-consistency commits never carry FP finals;",
+            "view-consistency commits may (stale-but-agreed versions).",
+        ],
+    )

@@ -1,0 +1,82 @@
+"""Experiments F3–F6 — Figs. 3–6: proof-evaluation timelines.
+
+The paper's figures show, per approach, *when* each of three servers
+evaluates proofs of authorization over a transaction's lifetime.  This
+bench runs a three-server transaction per approach, reconstructs the
+timeline from the simulation trace, and renders the ASCII equivalent of
+each figure (one lane per server, ``*`` per proof evaluation).
+
+Shape assertions encode what each figure depicts: Deferred's stars sit at
+commit time only; Punctual has both execution and commit stars; Incremental
+has execution stars only; Continuous re-evaluates every earlier server at
+each step (a triangular pattern).
+"""
+
+import pytest
+
+from repro.cloud.config import CloudConfig
+from repro.core.consistency import ConsistencyLevel
+from repro.metrics.timeline import extract_timeline
+from repro.sim.network import FixedLatency
+from repro.transactions.transaction import Query, Transaction
+from repro.workloads.testbed import build_cluster
+
+from _common import emit
+
+FIGURES = {
+    "deferred": "Fig. 3",
+    "punctual": "Fig. 4",
+    "incremental": "Fig. 5",
+    "continuous": "Fig. 6",
+}
+
+
+def run_timeline(approach):
+    cluster = build_cluster(
+        n_servers=3, seed=51, config=CloudConfig(latency=FixedLatency(1.0))
+    )
+    credential = cluster.issue_role_credential("alice")
+    txn = Transaction(
+        f"fig-{approach}",
+        "alice",
+        queries=(
+            Query.read("q1", ["s1/x1"]),
+            Query.read("q2", ["s2/x1"]),
+            Query.read("q3", ["s3/x1"]),
+        ),
+        credentials=(credential,),
+    )
+    outcome = cluster.run_transaction(txn, approach, ConsistencyLevel.VIEW)
+    assert outcome.committed
+    return extract_timeline(cluster.tracer, txn.txn_id)
+
+
+def assert_shape(approach, timeline):
+    lanes = timeline.lanes()
+    if approach == "deferred":
+        assert all(event.phase == "commit" for event in timeline.events)
+        assert all(event.time >= timeline.ready for event in timeline.events)
+    elif approach == "punctual":
+        phases = [event.phase for event in timeline.events]
+        assert phases.count("execution") == 3 and phases.count("commit") == 3
+    elif approach == "incremental":
+        assert all(event.phase == "execution" for event in timeline.events)
+    else:  # continuous: triangular re-evaluation counts
+        assert [len(lanes["s1"]), len(lanes["s2"]), len(lanes["s3"])] == [3, 2, 1]
+
+
+def collect():
+    blocks = []
+    for approach, figure in FIGURES.items():
+        timeline = run_timeline(approach)
+        assert_shape(approach, timeline)
+        blocks.append(f"{figure} — {approach} proofs of authorization")
+        blocks.append(timeline.render(width=64))
+        blocks.append("")
+    return "\n".join(blocks)
+
+
+@pytest.mark.benchmark(group="fig3-6")
+def test_fig3_to_fig6_timelines(benchmark):
+    text = benchmark.pedantic(collect, rounds=1, iterations=1)
+    emit("fig3_6_timelines", text)

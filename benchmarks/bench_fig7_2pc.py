@@ -1,0 +1,105 @@
+"""Experiment F7 — Fig. 7: the basic two-phase commit event sequence.
+
+Runs one plain-2PC commit (2PVC with validation off, i.e. the Incremental
+approach's commit protocol) and reconstructs the paper's Fig. 7 sequence
+from the trace and the WALs:
+
+    coordinator: Prepare →
+    participant: force-write prepared record, vote Yes →
+    coordinator: force-write decision record, Decision →
+    participant: force-write decision record, Ack →
+    coordinator: non-forced end record.
+
+Asserts both the per-node log ordering and the message kind ordering.
+"""
+
+import pytest
+
+from repro.cloud import messages as msg
+from repro.cloud.config import CloudConfig
+from repro.core.consistency import ConsistencyLevel
+from repro.sim.network import FixedLatency
+from repro.transactions.transaction import Query, Transaction
+from repro.workloads.testbed import build_cluster
+
+from _common import emit
+
+N = 2
+
+
+def run_2pc():
+    cluster = build_cluster(
+        n_servers=N, seed=61, config=CloudConfig(latency=FixedLatency(1.0))
+    )
+    credential = cluster.issue_role_credential("alice")
+    txn = Transaction(
+        "fig7",
+        "alice",
+        queries=(
+            Query.write("q1", deltas={"s1/x1": -1}),
+            Query.write("q2", deltas={"s2/x1": -1}),
+        ),
+        credentials=(credential,),
+    )
+    outcome = cluster.run_transaction(txn, "incremental", ConsistencyLevel.VIEW)
+    assert outcome.committed
+    return cluster
+
+
+def collect():
+    cluster = run_2pc()
+    lines = ["Fig. 7 — basic 2PC, one committing transaction", ""]
+
+    # Message sequence, from the trace (protocol messages only).
+    protocol_kinds = (msg.PREPARE_TO_COMMIT, msg.VOTE_REPLY, msg.DECISION, msg.DECISION_ACK)
+    sequence = [
+        (record.time, record.get("src"), record.get("dst"), record.get("kind"))
+        for record in cluster.tracer.select("net.send")
+        if record.get("kind") in protocol_kinds
+    ]
+    lines.append("message sequence:")
+    for when, src, dst, kind in sequence:
+        lines.append(f"  t={when:6.2f}  {src:>4} -> {dst:<4}  {kind}")
+    kinds_in_order = [kind for _t, _s, _d, kind in sequence]
+    # Voting phase strictly precedes the decision phase.
+    last_vote = max(index for index, kind in enumerate(kinds_in_order) if kind == msg.VOTE_REPLY)
+    first_decision = min(
+        index for index, kind in enumerate(kinds_in_order) if kind == msg.DECISION
+    )
+    assert last_vote < first_decision
+    assert kinds_in_order.count(msg.PREPARE_TO_COMMIT) == N
+    assert kinds_in_order.count(msg.DECISION_ACK) == N
+
+    # Log sequence per node.
+    lines.append("")
+    lines.append("write-ahead logs:")
+    tm_records = cluster.tm.wal.records_for("fig7")
+    assert [record.record_type.value for record in tm_records] == ["commit", "end"]
+    assert tm_records[0].forced and not tm_records[1].forced
+    lines.append(
+        "  tm1 : "
+        + ", ".join(
+            f"{record.record_type.value}{'(forced)' if record.forced else ''}"
+            for record in tm_records
+        )
+    )
+    for name in cluster.server_names():
+        records = cluster.server(name).wal.records_for("fig7")
+        assert [record.record_type.value for record in records] == ["prepared", "commit"]
+        assert all(record.forced for record in records)
+        lines.append(
+            f"  {name:4}: "
+            + ", ".join(
+                f"{record.record_type.value}{'(forced)' if record.forced else ''}"
+                for record in records
+            )
+        )
+    lines.append("")
+    lines.append(f"forced writes total: {2 * N + 1} (= 2n + 1)")
+    return "\n".join(lines)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_basic_2pc(benchmark):
+    text = benchmark.pedantic(collect, rounds=1, iterations=1)
+    emit("fig7_2pc", text)

@@ -1,0 +1,87 @@
+"""Experiment TR1 — §VI-B series: commit latency vs transaction length.
+
+Sweeps the number of queries per transaction (u) with no policy movement
+and plots (as a table) the mean commit latency and protocol cost of each
+approach.  Shape claims from the paper's analysis:
+
+* Continuous latency grows *super-linearly* in u (the Σ2i per-query 2PV
+  messages), while the other approaches grow linearly;
+* Incremental is the cheapest in messages at every length (plain 2PC);
+* Deferred is never slower than Punctual (Punctual adds u execution-time
+  proof evaluations).
+"""
+
+import pytest
+
+from repro.analysis.sweep import SweepPoint, run_point
+from repro.core.consistency import ConsistencyLevel
+
+from _common import emit_table
+
+APPROACHES = ("deferred", "punctual", "incremental", "continuous")
+LENGTHS = (2, 4, 6, 8)
+
+
+def collect():
+    table = {}
+    for approach in APPROACHES:
+        for length in LENGTHS:
+            result = run_point(
+                SweepPoint(
+                    approach=approach,
+                    consistency=ConsistencyLevel.VIEW,
+                    n_servers=max(3, length),
+                    txn_length=length,
+                    n_transactions=12,
+                    update_interval=None,
+                    seed=23,
+                )
+            )
+            summary = result.summary
+            assert summary.commit_rate == 1.0
+            table[(approach, length)] = (summary.mean_latency, summary.mean_messages)
+
+    rows = []
+    for approach in APPROACHES:
+        latencies = [table[(approach, length)][0] for length in LENGTHS]
+        messages = [table[(approach, length)][1] for length in LENGTHS]
+        rows.append(
+            [approach]
+            + [round(value, 1) for value in latencies]
+            + [round(value, 1) for value in messages]
+        )
+
+    # Shape assertions.
+    for length in LENGTHS:
+        assert table[("deferred", length)][0] <= table[("punctual", length)][0]
+        assert table[("incremental", length)][1] == min(
+            table[(approach, length)][1] for approach in APPROACHES
+        )
+    # Continuous latency gap versus deferred widens with u (super-linear part).
+    gaps = [
+        table[("continuous", length)][0] - table[("deferred", length)][0]
+        for length in LENGTHS
+    ]
+    assert gaps == sorted(gaps)
+    return rows
+
+
+@pytest.mark.benchmark(group="tradeoff")
+def test_tradeoff_latency_vs_length(benchmark):
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    headers = (
+        ["approach"]
+        + [f"latency u={length}" for length in LENGTHS]
+        + [f"msgs u={length}" for length in LENGTHS]
+    )
+    emit_table(
+        "tradeoff_length",
+        headers,
+        rows,
+        title="TR1: commit latency and protocol messages vs transaction length",
+        notes=[
+            "No policy churn.  Continuous's latency gap over Deferred widens",
+            "with u (its per-query 2PV is quadratic in messages); Incremental",
+            "always has the cheapest commit (plain 2PC).",
+        ],
+    )

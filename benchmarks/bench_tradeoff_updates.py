@@ -1,0 +1,82 @@
+"""Experiment TR2 — §VI-B series: behaviour vs policy-update frequency.
+
+Sweeps the policy-update interval (benign version churn) against a fixed
+workload and reports, per approach: commit rate, extra validation rounds,
+and wasted time.  Shape claims:
+
+* Deferred/Punctual/Continuous keep committing under churn (benign updates
+  never flip outcomes — they just cost extra rounds / synchronizations);
+* Incremental's commit rate *degrades* as updates become more frequent
+  (it aborts whenever a version moves mid-transaction), and its wasted
+  time grows accordingly;
+* Extra validation rounds for Deferred increase as the interval shrinks.
+"""
+
+import pytest
+
+from repro.analysis.sweep import SweepPoint, run_point
+from repro.core.consistency import ConsistencyLevel
+
+from _common import emit_table
+
+APPROACHES = ("deferred", "punctual", "incremental", "continuous")
+INTERVALS = (200.0, 60.0, 25.0, 10.0)
+
+
+def run_cell(approach, interval):
+    return run_point(
+        SweepPoint(
+            approach=approach,
+            consistency=ConsistencyLevel.VIEW,
+            n_servers=4,
+            txn_length=4,
+            n_transactions=15,
+            update_interval=interval,
+            update_mode="benign",
+            seed=29,
+            config_overrides={"replication_delay": (2.0, 10.0)},
+        )
+    )
+
+
+def collect():
+    cells = {
+        (approach, interval): run_cell(approach, interval)
+        for approach in APPROACHES
+        for interval in INTERVALS
+    }
+    rows = []
+    for approach in APPROACHES:
+        row = [approach]
+        for interval in INTERVALS:
+            summary = cells[(approach, interval)].summary
+            row.append(f"{summary.commit_rate:.0%}/{summary.total_wasted_time:.0f}")
+        rows.append(row)
+
+    # Shape assertions.
+    for interval in INTERVALS:
+        for approach in ("deferred", "punctual", "continuous"):
+            assert cells[(approach, interval)].summary.commit_rate == 1.0
+    incremental_rates = [
+        cells[("incremental", interval)].summary.commit_rate for interval in INTERVALS
+    ]
+    # Monotone degradation (non-strict) from rare to frequent updates.
+    assert incremental_rates[0] >= incremental_rates[-1]
+    assert incremental_rates[-1] < 1.0
+    return rows
+
+
+@pytest.mark.benchmark(group="tradeoff")
+def test_tradeoff_update_frequency(benchmark):
+    rows = benchmark.pedantic(collect, rounds=1, iterations=1)
+    emit_table(
+        "tradeoff_updates",
+        ["approach"] + [f"interval={interval:g}" for interval in INTERVALS],
+        rows,
+        title="TR2: commit-rate / wasted-time vs policy-update interval (benign churn)",
+        notes=[
+            "Cells are 'commit rate / total wasted time'.  Only Incremental",
+            "loses transactions to benign version churn; the re-validating",
+            "approaches absorb it with extra rounds or synchronizations.",
+        ],
+    )

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Empirical check of the paper's Section VI-B decision guide.
+
+The paper structures the choice as two pairwise decisions: the update
+frequency (relative to transaction length) picks the candidate pair —
+{Deferred, Punctual} when transactions are shorter than the update
+interval, {Incremental, Continuous} otherwise — and the transaction length
+picks within the pair.  This script measures all four quadrants with the
+simulator (clients retry policy-caused aborts; score = total time spent
+per successful commit) and compares the measured pair winner with the
+paper's recommendation.
+
+Run:  python examples/approach_advisor.py     (takes a couple of minutes)
+"""
+
+from repro.analysis.tradeoff import empirical_quadrants, recommend_regime
+from repro.metrics.report import format_table
+
+
+def main() -> None:
+    print(__doc__)
+    quadrants = empirical_quadrants(n_transactions=20)
+    rows = []
+    for quadrant in quadrants:
+        pair_scores = ", ".join(
+            f"{name}:{score:.1f}"
+            for name, score in quadrant.ranking()
+            if name in quadrant.pair
+        )
+        winner = quadrant.pair_winner()
+        rows.append(
+            [
+                quadrant.name,
+                quadrant.recommended,
+                winner,
+                "agree" if winner == quadrant.recommended else "differ",
+                pair_scores,
+            ]
+        )
+    print(
+        format_table(
+            ["regime", "paper recommends", "measured winner", "verdict", "pair scores (lower=better)"],
+            rows,
+            title="Section VI-B quadrants, measured (time per successful commit)",
+        )
+    )
+    print()
+    print("The rule of thumb for your own workload:")
+    for short in (True, False):
+        for frequent in (True, False):
+            label = (
+                f"{'short' if short else 'long'} txns, "
+                f"{'frequent' if frequent else 'rare'} updates"
+            )
+            print(f"  {label:34s} -> {recommend_regime(short, frequent)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Quickstart: run one distributed transaction under all four approaches.
+
+Builds a three-server simulated cloud, mints a member credential for Alice,
+and runs the same read/write transaction under Deferred, Punctual,
+Incremental Punctual, and Continuous proofs of authorization — under both
+view (φ) and global (ψ) consistency — printing the cost profile of each.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import ConsistencyLevel, Query, Transaction, build_cluster
+from repro.metrics.report import format_table
+
+
+def make_transaction(txn_id: str, credential) -> Transaction:
+    """Read an account, transfer stock, read a third item."""
+    return Transaction(
+        txn_id,
+        "alice",
+        queries=(
+            Query.read(f"{txn_id}-q1", ["s1/x1"]),
+            Query.write(f"{txn_id}-q2", deltas={"s2/x1": -10}),
+            Query.read(f"{txn_id}-q3", ["s3/x1"]),
+        ),
+        credentials=(credential,),
+    )
+
+
+def main() -> None:
+    rows = []
+    for level in (ConsistencyLevel.VIEW, ConsistencyLevel.GLOBAL):
+        for approach in ("deferred", "punctual", "incremental", "continuous"):
+            # A fresh cluster per run keeps the comparisons independent.
+            cluster = build_cluster(n_servers=3, seed=7)
+            credential = cluster.issue_role_credential("alice")
+            txn = make_transaction(f"demo-{approach}-{level.value}", credential)
+            outcome = cluster.run_transaction(txn, approach, level)
+            rows.append(
+                [
+                    approach,
+                    level.value,
+                    outcome.committed,
+                    outcome.protocol_messages,
+                    outcome.proof_evaluations,
+                    outcome.voting_rounds,
+                    round(outcome.latency, 2),
+                ]
+            )
+            assert outcome.committed, "quickstart transactions should commit"
+
+    print(
+        format_table(
+            ["approach", "consistency", "committed", "messages", "proofs", "rounds", "latency"],
+            rows,
+            title="One 3-query transaction across 3 servers (no policy churn)",
+        )
+    )
+    print()
+    print("Note how Continuous pays u(u+1) extra messages for its per-query")
+    print("2PV rounds, while Incremental commits with plain-2PC cost (4n).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network access, so
+PEP 517 editable installs fail with ``invalid command 'bdist_wheel'``.  This
+shim lets ``pip install -e . --no-build-isolation --no-use-pep517`` take the
+``setup.py develop`` path instead.  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

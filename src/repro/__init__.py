@@ -1,0 +1,93 @@
+"""repro — a reproduction of *Enforcing Policy and Data Consistency of
+Cloud Transactions* (Iskander, Wilkinson, Lee, Chrysanthis; ICDCS 2011).
+
+The package implements the paper's Two-Phase Validation (2PV) and
+Two-Phase Validation Commit (2PVC) protocols, the four proof-of-
+authorization enforcement approaches (Deferred, Punctual, Incremental
+Punctual, Continuous), and every substrate they need — a discrete-event
+simulation kernel, a simulated cloud with eventually-consistent policy
+replication, a distributed database layer (2PL, WAL, 2PC), and a
+credential/policy authorization engine.
+
+Quickstart::
+
+    from repro import build_cluster, ConsistencyLevel, Query, Transaction
+
+    cluster = build_cluster(n_servers=3)
+    cred = cluster.issue_role_credential("alice")
+    txn = Transaction("t1", "alice",
+                      (Query.read("q1", ["s1/x1"]),
+                       Query.write("q2", deltas={"s2/x1": -10})),
+                      (cred,))
+    outcome = cluster.run_transaction(txn, "punctual", ConsistencyLevel.VIEW)
+    assert outcome.committed
+
+See README.md for the full tour and DESIGN.md / EXPERIMENTS.md for the
+mapping back to the paper.
+"""
+
+from repro.cloud.config import CloudConfig, MasterFetchMode
+from repro.core.approaches import APPROACHES, ProofApproach, get_approach
+from repro.core.complexity import log_complexity, max_messages, max_proofs
+from repro.core.consistency import (
+    ConsistencyLevel,
+    phi_consistent,
+    psi_consistent,
+)
+from repro.core.trusted import check_safe, check_trusted
+from repro.core.twopv import ValidationResult, run_2pv
+from repro.core.twopvc import CommitResult, run_2pvc
+from repro.errors import AbortReason, ReproError, TransactionAborted
+from repro.metrics.stats import TransactionOutcome, aggregate
+from repro.policy.policy import Operation, Policy, PolicyId
+from repro.transactions.states import Decision, TxnStatus, Vote
+from repro.transactions.transaction import Query, Transaction, next_txn_id
+from repro.workloads.testbed import (
+    Cluster,
+    DomainSpec,
+    ServerSpec,
+    assemble_cluster,
+    build_cluster,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "APPROACHES",
+    "AbortReason",
+    "CloudConfig",
+    "Cluster",
+    "CommitResult",
+    "ConsistencyLevel",
+    "Decision",
+    "DomainSpec",
+    "MasterFetchMode",
+    "Operation",
+    "Policy",
+    "PolicyId",
+    "ProofApproach",
+    "Query",
+    "ReproError",
+    "ServerSpec",
+    "Transaction",
+    "TransactionAborted",
+    "TransactionOutcome",
+    "TxnStatus",
+    "ValidationResult",
+    "Vote",
+    "aggregate",
+    "assemble_cluster",
+    "build_cluster",
+    "check_safe",
+    "check_trusted",
+    "get_approach",
+    "log_complexity",
+    "max_messages",
+    "max_proofs",
+    "next_txn_id",
+    "phi_consistent",
+    "psi_consistent",
+    "run_2pv",
+    "run_2pvc",
+    "__version__",
+]

@@ -1,0 +1,41 @@
+"""Trade-off analysis: sweeps, the §VI-B decision guide, adaptive selection."""
+
+from repro.analysis.accuracy import (
+    AccuracyReport,
+    Classification,
+    DecisionOracle,
+    oracle_for_cluster,
+)
+from repro.analysis.adaptive import AdaptiveSelector, EwmaEstimator, run_adaptive_batch
+from repro.analysis.sweep import (
+    SweepPoint,
+    SweepResult,
+    compare_approaches,
+    run_point,
+    sweep,
+)
+from repro.analysis.tradeoff import (
+    QuadrantResult,
+    empirical_quadrants,
+    recommend,
+    recommend_regime,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "AdaptiveSelector",
+    "Classification",
+    "DecisionOracle",
+    "oracle_for_cluster",
+    "EwmaEstimator",
+    "QuadrantResult",
+    "run_adaptive_batch",
+    "SweepPoint",
+    "SweepResult",
+    "compare_approaches",
+    "empirical_quadrants",
+    "recommend",
+    "recommend_regime",
+    "run_point",
+    "sweep",
+]

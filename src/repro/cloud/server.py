@@ -1,0 +1,509 @@
+"""Cloud servers: storage + locks + constraints + policies + WAL + handlers.
+
+A :class:`CloudServer` is one of the paper's ``S`` servers.  It hosts a
+subset of the data items, enforces the policies it currently knows (which
+may be stale — replication is eventually consistent), participates in
+2PC / 2PV / 2PVC, and can issue capability credentials ("access credentials
+that act as capabilities", Section III-A).
+
+All handlers run as simulation processes, so lock waits, proof-evaluation
+time, OCSP round trips, and forced log writes all consume simulated time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.cloud import messages as msg
+from repro.cloud.config import CloudConfig
+from repro.db.constraints import ConstraintSet
+from repro.db.locks import LockManager, LockMode
+from repro.db.recovery import analyze
+from repro.db.storage import StorageEngine
+from repro.db.wal import LogRecordType, WriteAheadLog
+from repro.errors import DeadlockError, PolicyError
+from repro.metrics.counters import Metrics
+from repro.metrics.timeline import PROOF_EVAL
+from repro.policy.credentials import CARegistry, CertificateAuthority, Credential
+from repro.policy.ocsp import fetch_statuses
+from repro.policy.policy import Operation, Policy, PolicyId
+from repro.policy.proofs import (
+    LocalRevocationChecker,
+    PrefetchedStatuses,
+    ProofOfAuthorization,
+    evaluate_proof,
+)
+from repro.policy.rules import Atom
+from repro.policy.store import PolicyStore
+from repro.sim.events import Event
+from repro.sim.network import Message, Node
+from repro.sim.resources import Resource
+from repro.sim.tracing import Tracer
+from repro.transactions.states import Decision, Vote
+from repro.transactions.transaction import Query
+
+
+@dataclass
+class _ExecutedQuery:
+    """A query this server executed for some in-flight transaction."""
+
+    query: Query
+    user: str
+    credentials: Tuple[Credential, ...]
+    admin: PolicyId
+    latest_proof: Optional[ProofOfAuthorization] = None
+
+
+@dataclass
+class _TxnState:
+    """Volatile per-transaction state on one participant."""
+
+    txn_id: str
+    coordinator: str
+    queries: List[_ExecutedQuery] = field(default_factory=list)
+    prepared: bool = False
+
+
+class CloudServer(Node):
+    """One cloud server hosting data items and enforcing policies."""
+
+    def __init__(
+        self,
+        name: str,
+        config: CloudConfig,
+        registry: CARegistry,
+        metrics: Metrics,
+        tracer: Optional[Tracer] = None,
+        default_admin: str = "app",
+        domain_of: Optional[Dict[str, str]] = None,
+    ) -> None:
+        super().__init__(name)
+        self.config = config
+        self.registry = registry
+        self.metrics = metrics
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.storage = StorageEngine(name)
+        self.constraints = ConstraintSet()
+        self.policies = PolicyStore()
+        self.wal = WriteAheadLog(name)
+        self.default_admin = default_admin
+        #: item → administrative domain (defaults to ``default_admin``).
+        self.domain_of: Dict[str, str] = dict(domain_of or {})
+        self.locks: Optional[LockManager] = None  # created when registered
+        self._cpu: Optional[Resource] = None  # created when registered
+        self._txns: Dict[str, _TxnState] = {}
+        #: This server's own credential-issuing identity (capabilities).
+        self.authority = CertificateAuthority(f"{name}-authority")
+        registry.add(self.authority)
+
+    # Nodes get their env at registration time; the lock manager needs it.
+    def _lock_manager(self) -> LockManager:
+        if self.locks is None:
+            assert self.env is not None, "server must be registered with a network"
+            self.locks = LockManager(self.env, self.name)
+        return self.locks
+
+    def _cpu_resource(self) -> Optional[Resource]:
+        """Lazily created compute-slot pool (None = unbounded)."""
+        if self.config.server_concurrency is None:
+            return None
+        if self._cpu is None:
+            assert self.env is not None, "server must be registered with a network"
+            self._cpu = Resource(
+                self.env, self.config.server_concurrency, name=f"{self.name}.cpu"
+            )
+        return self._cpu
+
+    def _consume_cpu(self, duration: float) -> Generator[Event, Any, None]:
+        """Spend ``duration`` of compute, holding one slot if bounded.
+
+        Slots are held only for compute, never across lock waits or
+        network round trips, so capacity cannot deadlock against 2PL.
+        """
+        cpu = self._cpu_resource()
+        if cpu is None:
+            yield self.env.timeout(duration)
+            return
+        yield cpu.acquire()
+        try:
+            yield self.env.timeout(duration)
+        finally:
+            cpu.release()
+
+    # -- setup helpers -----------------------------------------------------------
+
+    def host_items(self, values: Dict[str, Any], admin: Optional[str] = None) -> None:
+        """Install items (with initial values) on this server."""
+        self.storage.install_many(values)
+        if admin is not None:
+            for key in values:
+                self.domain_of[key] = admin
+
+    def admin_for(self, query: Query) -> PolicyId:
+        """The administrative domain governing a query's items."""
+        domains = {self.domain_of.get(item, self.default_admin) for item in query.items}
+        if len(domains) != 1:
+            raise PolicyError(
+                f"query {query.query_id!r} spans administrative domains {sorted(domains)}"
+            )
+        return PolicyId(domains.pop())
+
+    def issue_capability(
+        self,
+        user: str,
+        item: str,
+        operation: Operation,
+        now: float,
+        expires_at: float = float("inf"),
+    ) -> Credential:
+        """Issue an access credential acting as a capability.
+
+        "Different cloud servers can also issue access credentials that act
+        as capabilities allowing the user to continue submitting queries to
+        other servers during the transaction lifetime" (Section III-A).
+        """
+        predicate = f"{operation.value}_capability"
+        return self.authority.issue(user, Atom(predicate, (user, item)), now, expires_at)
+
+    # -- message dispatch ------------------------------------------------------------
+
+    def handle_message(self, message: Message) -> Optional[Generator[Event, Any, Any]]:
+        if message.kind == msg.EXECUTE_QUERY:
+            return self._handle_execute(message)
+        if message.kind == msg.PREPARE_TO_VALIDATE:
+            return self._handle_prepare_to_validate(message)
+        if message.kind == msg.POLICY_UPDATE:
+            return self._handle_policy_update(message)
+        if message.kind == msg.PREPARE_TO_COMMIT:
+            return self._handle_prepare_to_commit(message)
+        if message.kind == msg.DECISION:
+            return self._handle_decision(message)
+        if message.kind == msg.POLICY_INSTALL:
+            self.policies.apply(message["policy"])
+            return None
+        raise NotImplementedError(f"{self.name} cannot handle {message.kind!r}")
+
+    # -- query execution ----------------------------------------------------------------
+
+    def _handle_execute(self, message: Message) -> Generator[Event, Any, None]:
+        txn_id: str = message["txn_id"]
+        query: Query = message["query"]
+        user: str = message["user"]
+        credentials: Tuple[Credential, ...] = tuple(message["credentials"])
+        evaluate: bool = message["evaluate_proof"]
+
+        state = self._txns.setdefault(txn_id, _TxnState(txn_id, coordinator=message.src))
+        locks = self._lock_manager()
+        mode = LockMode.EXCLUSIVE if query.operation is Operation.WRITE else LockMode.SHARED
+        for item in query.items:
+            try:
+                yield locks.acquire(txn_id, item, mode)
+            except DeadlockError as error:
+                self._rollback_local(txn_id)
+                self.reply(
+                    message,
+                    msg.QUERY_DENIED,
+                    msg.CAT_QUERY,
+                    txn_id=txn_id,
+                    query_id=query.query_id,
+                    reason="deadlock",
+                    detail=str(error),
+                )
+                return
+
+        yield from self._consume_cpu(self.config.query_execution_time)
+
+        # A global abort may have arrived while this handler was waiting on
+        # locks or executing; in that case the transaction's state is gone
+        # and we must not recreate workspaces or locks for it.
+        if self._txns.get(txn_id) is not state:
+            self._rollback_local(txn_id)
+            self.reply(
+                message,
+                msg.QUERY_DENIED,
+                msg.CAT_QUERY,
+                txn_id=txn_id,
+                query_id=query.query_id,
+                reason="aborted",
+                detail="transaction aborted during execution",
+            )
+            return
+
+        values: Dict[str, Any] = {}
+        if query.operation is Operation.READ:
+            for item in query.items:
+                values[item] = self.storage.read(txn_id, item)
+        else:
+            for effect in query.effects:
+                current = self.storage.read(txn_id, effect.key)
+                updated = effect.apply(current)
+                self.storage.write(txn_id, effect.key, updated)
+                values[effect.key] = updated
+
+        admin = self.admin_for(query)
+        executed = _ExecutedQuery(query, user, credentials, admin)
+        state.queries.append(executed)
+
+        proof: Optional[ProofOfAuthorization] = None
+        if evaluate:
+            proof = yield from self._evaluate(txn_id, executed, phase="execution")
+
+        capabilities: List[Credential] = []
+        if proof is not None and proof.granted and self.config.issue_capabilities:
+            for item in query.items:
+                capabilities.append(
+                    self.issue_capability(user, item, query.operation, self.env.now)
+                )
+
+        policy = self.policies.current(admin)
+        self.reply(
+            message,
+            msg.QUERY_RESULT,
+            msg.CAT_QUERY,
+            txn_id=txn_id,
+            query_id=query.query_id,
+            values=values,
+            proof=proof,
+            granted=(proof.granted if proof is not None else None),
+            admin=admin,
+            version=policy.version,
+            policy=policy,
+            capabilities=capabilities,
+        )
+
+    def _evaluate(
+        self,
+        txn_id: str,
+        executed: _ExecutedQuery,
+        phase: str,
+        policy: Optional[Policy] = None,
+    ) -> Generator[Event, Any, ProofOfAuthorization]:
+        """Evaluate one proof of authorization.
+
+        Uses ``policy`` when given (a snapshot pinned by the caller) and the
+        latest locally installed policy otherwise.
+        """
+        if self.config.use_online_ocsp:
+            statuses = yield from fetch_statuses(
+                self, self.config.ocsp_responder, executed.credentials, self.env.now
+            )
+            checker: Any = PrefetchedStatuses(statuses)
+        else:
+            checker = LocalRevocationChecker(self.registry)
+        yield from self._consume_cpu(self.config.proof_evaluation_time)
+        if policy is None:
+            policy = self.policies.current(executed.admin)
+        proof = evaluate_proof(
+            policy=policy,
+            query_id=executed.query.query_id,
+            user=executed.user,
+            operation=executed.query.operation,
+            items=executed.query.items,
+            credentials=executed.credentials,
+            server=self.name,
+            now=self.env.now,
+            registry=self.registry,
+            revocation=checker,
+        )
+        executed.latest_proof = proof
+        self.metrics.proofs.on_proof(self.name, txn_id)
+        self.tracer.record(
+            self.env.now,
+            PROOF_EVAL,
+            txn_id=txn_id,
+            server=self.name,
+            phase=phase,
+            query_id=executed.query.query_id,
+            granted=proof.granted,
+            version=proof.policy_version,
+        )
+        return proof
+
+    def _validation_report(
+        self, txn_id: str
+    ) -> Generator[Event, Any, Dict[str, Any]]:
+        """(Re-)evaluate all this transaction's proofs; build the 2PV reply.
+
+        The policy per administrative domain is *pinned once* at the start
+        of the report, so every proof in one reply used the same version —
+        otherwise a replication delivery landing between two evaluations
+        could make the reply's version claim inconsistent with the proofs
+        it vouches for (and let a φ-inconsistent view commit).
+        """
+        state = self._txns.get(txn_id)
+        proofs: List[ProofOfAuthorization] = []
+        snapshot: Dict[PolicyId, Policy] = {}
+        if state is not None:
+            for executed in state.queries:
+                if executed.admin not in snapshot:
+                    snapshot[executed.admin] = self.policies.current(executed.admin)
+            for executed in state.queries:
+                proof = yield from self._evaluate(
+                    txn_id, executed, phase="commit", policy=snapshot[executed.admin]
+                )
+                proofs.append(proof)
+        truth = all(proof.granted for proof in proofs)
+        versions: Dict[PolicyId, int] = {
+            admin: policy.version for admin, policy in snapshot.items()
+        }
+        return {
+            "truth": truth,
+            "versions": versions,
+            "policies": dict(snapshot),
+            "proofs": proofs,
+        }
+
+    # -- 2PV handlers ---------------------------------------------------------------------
+
+    def _handle_prepare_to_validate(self, message: Message) -> Generator[Event, Any, None]:
+        txn_id = message["txn_id"]
+        report = yield from self._validation_report(txn_id)
+        self.reply(message, msg.VALIDATE_REPLY, msg.CAT_VOTE, txn_id=txn_id, **report)
+
+    def _handle_policy_update(self, message: Message) -> Generator[Event, Any, None]:
+        """Install pushed policies, re-evaluate, and report back (Alg. 1 step 10)."""
+        txn_id = message["txn_id"]
+        for policy in message["policies"]:
+            self.policies.apply(policy)
+        report = yield from self._validation_report(txn_id)
+        self.reply(message, msg.POLICY_UPDATED, msg.CAT_UPDATE, txn_id=txn_id, **report)
+
+    # -- 2PVC voting ---------------------------------------------------------------------
+
+    def _handle_prepare_to_commit(self, message: Message) -> Generator[Event, Any, None]:
+        txn_id = message["txn_id"]
+        validate: bool = message["validate"]
+        state = self._txns.get(txn_id)
+
+        yield from self._consume_cpu(self.config.constraint_check_time)
+        reader = self.storage.effective_reader(txn_id)
+        touched = (
+            set().union(*(set(executed.query.items) for executed in state.queries))
+            if state is not None and state.queries
+            else set()
+        )
+        integrity_ok, violated = self.constraints.check(reader, touched)
+        vote = Vote.YES if integrity_ok else Vote.NO
+
+        if validate:
+            report = yield from self._validation_report(txn_id)
+        else:
+            report = {"truth": True, "versions": {}, "policies": {}, "proofs": []}
+
+        # "a participant must forcibly log the set of (vi, pi) tuples along
+        # with its vote and truth value" (Section V-C).
+        yield self.env.timeout(self.config.log_force_time)
+        self.wal.force(
+            LogRecordType.PREPARED,
+            txn_id,
+            self.env.now,
+            vote=vote.value,
+            truth=report["truth"],
+            versions={pid.admin: ver for pid, ver in report["versions"].items()},
+            writes=dict(self.storage.workspace(txn_id).writes),
+            coordinator=message.src,
+        )
+        if state is not None:
+            state.prepared = True
+
+        self.reply(
+            message,
+            msg.VOTE_REPLY,
+            msg.CAT_VOTE,
+            txn_id=txn_id,
+            vote=vote,
+            violated=violated,
+            **report,
+        )
+
+    # -- decision phase ------------------------------------------------------------------
+
+    def _handle_decision(self, message: Message) -> Generator[Event, Any, None]:
+        txn_id = message["txn_id"]
+        decision: Decision = message["decision"]
+        force: bool = message["force"]
+        ack: bool = message["ack"]
+
+        record_type = (
+            LogRecordType.COMMIT if decision is Decision.COMMIT else LogRecordType.ABORT
+        )
+        if force:
+            yield self.env.timeout(self.config.log_force_time)
+            self.wal.force(record_type, txn_id, self.env.now)
+        else:
+            self.wal.append(record_type, txn_id, self.env.now)
+
+        if decision is Decision.COMMIT:
+            self.storage.apply(txn_id, self.env.now)
+        else:
+            self.storage.discard(txn_id)
+        self._lock_manager().release_all(txn_id)
+        self._txns.pop(txn_id, None)
+
+        if ack:
+            self.reply(message, msg.DECISION_ACK, msg.CAT_DECISION, txn_id=txn_id)
+
+    def _rollback_local(self, txn_id: str) -> None:
+        """Unilateral local rollback (deadlock victim before voting)."""
+        self.storage.discard(txn_id)
+        self._lock_manager().release_all(txn_id)
+        self._txns.pop(txn_id, None)
+
+    # -- crash & recovery -------------------------------------------------------------------
+
+    def on_crash(self) -> None:
+        """Volatile state vanishes: workspaces, lock table, txn bookkeeping."""
+        for txn_id in list(self.storage.active_transactions()):
+            self.storage.discard(txn_id)
+        self._txns.clear()
+        if self.env is not None:
+            self.locks = LockManager(self.env, self.name)
+
+    def on_recover(self) -> None:
+        """Replay the WAL: redo logged commits, resolve in-doubt transactions."""
+        plan = analyze(self.wal)
+        for txn_id in plan.redo_commits:
+            self._redo_from_log(txn_id)
+            self.wal.append(LogRecordType.END, txn_id, self.env.now)
+        for txn_id in plan.in_doubt:
+            prepared = self._prepared_record(txn_id)
+            coordinator = prepared.get("coordinator") if prepared else None
+            if coordinator:
+                self.env.process(
+                    self._resolve_in_doubt(txn_id, coordinator),
+                    name=f"{self.name}.resolve[{txn_id}]",
+                )
+
+    def _prepared_record(self, txn_id: str):
+        for record in reversed(self.wal.records_for(txn_id)):
+            if record.record_type is LogRecordType.PREPARED:
+                return record
+        return None
+
+    def _redo_from_log(self, txn_id: str) -> None:
+        """Reapply a committed transaction's writes from its prepared record."""
+        prepared = self._prepared_record(txn_id)
+        if prepared is None:
+            return
+        for key, value in (prepared.get("writes") or {}).items():
+            self.storage.install(key, value)
+
+    def _resolve_in_doubt(self, txn_id: str, coordinator: str) -> Generator[Event, Any, None]:
+        """Termination protocol: ask the coordinator how the txn ended."""
+        reply = yield self.request(
+            coordinator,
+            msg.DECISION_REQUEST,
+            msg.CAT_RECOVERY,
+            timeout=self.config.request_timeout,
+            txn_id=txn_id,
+        )
+        decision: Decision = reply["decision"]
+        yield self.env.timeout(self.config.log_force_time)
+        record_type = (
+            LogRecordType.COMMIT if decision is Decision.COMMIT else LogRecordType.ABORT
+        )
+        self.wal.force(record_type, txn_id, self.env.now)
+        if decision is Decision.COMMIT:
+            self._redo_from_log(txn_id)
+        self.wal.append(LogRecordType.END, txn_id, self.env.now)

@@ -1,0 +1,61 @@
+"""Continuous proofs of authorization (Definition 9).
+
+The least permissive approach: after each query executes, the TM invokes
+2PV across *all* servers involved so far, forcing every previous proof to
+be re-evaluated under consistent policies.  Unlike Incremental Punctual, a
+newer policy version does not abort the transaction — 2PV pushes the newer
+policy to stale servers and re-evaluates (Section V-C).
+
+Commit time (Section VI-A): under view consistency the 2PV at the final
+query "does the equivalent work", so 2PVC runs without validations; under
+global consistency the full 2PVC (with validation and per-round master
+fetches) runs, contributing the ``2n + 2nr + r`` and ``ur`` terms of
+Table I.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.cloud.config import MasterFetchMode
+from repro.core.approaches import ProofApproach, register
+from repro.core.consistency import ConsistencyLevel
+from repro.core.context import TxnContext
+from repro.core.twopv import run_2pv
+from repro.core.twopvc import CommitResult, run_2pvc
+from repro.errors import AbortReason, TransactionAborted
+from repro.sim.events import Event
+from repro.sim.network import Message
+from repro.transactions.transaction import Query
+
+
+@register
+class ContinuousProofs(ProofApproach):
+    """2PV after every query; lightest-possible commit under view consistency."""
+
+    name = "continuous"
+    #: Proof evaluation happens inside the per-query 2PV (which covers the
+    #: just-executed query too), not during query execution itself — this is
+    #: what makes the proof count Σi = u(u+1)/2 rather than u + u(u+1)/2.
+    evaluate_during_execution = False
+
+    def on_query_result(
+        self, tm: Any, ctx: TxnContext, query: Query, server: str, reply: Message
+    ) -> Generator[Event, Any, None]:
+        # One master fetch per 2PV invocation (the ``+u`` of Table I).
+        result = yield from run_2pv(tm, ctx, master_mode=MasterFetchMode.ONCE)
+        ctx.voting_rounds += result.rounds
+        if not result.ok:
+            raise TransactionAborted(
+                result.abort_reason or AbortReason.PROOF_FAILED,
+                f"2PV after query {query.query_id} returned ABORT",
+            )
+
+    def at_commit(self, tm: Any, ctx: TxnContext) -> Generator[Event, Any, CommitResult]:
+        if ctx.consistency is ConsistencyLevel.VIEW:
+            result = yield from run_2pvc(tm, ctx, validate=False)
+        else:
+            result = yield from run_2pvc(
+                tm, ctx, validate=True, master_mode=MasterFetchMode.PER_ROUND
+            )
+        return result

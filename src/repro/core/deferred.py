@@ -1,0 +1,28 @@
+"""Deferred proofs of authorization (Definition 5).
+
+"An optimistic system with weaker authorization guarantees": queries
+execute without any proof evaluation; all proofs are constructed and
+validated simultaneously at commit time, ω(T), inside 2PVC.  Transactions
+execute fastest but risk a full rollback at the very end.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.approaches import ProofApproach, register
+from repro.core.context import TxnContext
+from repro.core.twopvc import CommitResult, run_2pvc
+from repro.sim.events import Event
+
+
+@register
+class DeferredProofs(ProofApproach):
+    """Evaluate everything once, at commit time, with full 2PVC."""
+
+    name = "deferred"
+    evaluate_during_execution = False
+
+    def at_commit(self, tm: Any, ctx: TxnContext) -> Generator[Event, Any, CommitResult]:
+        result = yield from run_2pvc(tm, ctx, validate=True)
+        return result

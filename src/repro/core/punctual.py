@@ -1,0 +1,39 @@
+"""Punctual proofs of authorization (Definition 6).
+
+Proofs are evaluated *instantaneously* whenever a server handles a query,
+letting the TM abort unsafe transactions early and "save the system from
+going into expensive undo operations".  No freshness restriction is placed
+on the policies used during execution, so a mandatory re-evaluation of all
+proofs happens at commit time inside 2PVC (with either view or global
+consistency).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.approaches import ProofApproach, register, require_granted
+from repro.core.context import TxnContext
+from repro.core.twopvc import CommitResult, run_2pvc
+from repro.sim.events import Event
+from repro.sim.network import Message
+from repro.transactions.transaction import Query
+
+
+@register
+class PunctualProofs(ProofApproach):
+    """Per-query instantaneous evaluation + full 2PVC at commit."""
+
+    name = "punctual"
+    evaluate_during_execution = True
+
+    def on_query_result(
+        self, tm: Any, ctx: TxnContext, query: Query, server: str, reply: Message
+    ) -> Generator[Event, Any, None]:
+        require_granted(reply)
+        return
+        yield  # pragma: no cover - makes this function a generator
+
+    def at_commit(self, tm: Any, ctx: TxnContext) -> Generator[Event, Any, CommitResult]:
+        result = yield from run_2pvc(tm, ctx, validate=True)
+        return result

@@ -1,0 +1,59 @@
+"""Distributed-database substrate: storage, locking, constraints, logging.
+
+* :mod:`repro.db.items` — data items and the item→server catalog.
+* :mod:`repro.db.storage` — per-server storage engine with workspaces.
+* :mod:`repro.db.locks` — strict 2PL with deadlock detection.
+* :mod:`repro.db.constraints` — integrity constraints (the 2PC YES/NO vote).
+* :mod:`repro.db.wal` — write-ahead log with forced-write accounting.
+* :mod:`repro.db.recovery` — crash-recovery log analysis.
+"""
+
+from repro.db.constraints import (
+    ConstraintSet,
+    IntegrityConstraint,
+    NonNegative,
+    PredicateConstraint,
+    SumInvariant,
+    UpperBound,
+)
+from repro.db.items import ItemCatalog, ItemVersion
+from repro.db.locks import LockManager, LockMode, compatible
+from repro.db.recovery import RecoveryPlan, analyze
+from repro.db.serializability import (
+    ConflictEdge,
+    build_conflict_graph,
+    check_conflict_serializable,
+    find_cycle,
+    serial_order,
+)
+from repro.db.storage import AccessKind, AccessRecord, StorageEngine, Workspace
+from repro.db.wal import DECISIONS, LogRecord, LogRecordType, WriteAheadLog
+
+__all__ = [
+    "AccessKind",
+    "AccessRecord",
+    "ConflictEdge",
+    "ConstraintSet",
+    "build_conflict_graph",
+    "check_conflict_serializable",
+    "find_cycle",
+    "serial_order",
+    "DECISIONS",
+    "IntegrityConstraint",
+    "ItemCatalog",
+    "ItemVersion",
+    "LockManager",
+    "LockMode",
+    "LogRecord",
+    "LogRecordType",
+    "NonNegative",
+    "PredicateConstraint",
+    "RecoveryPlan",
+    "StorageEngine",
+    "SumInvariant",
+    "UpperBound",
+    "Workspace",
+    "WriteAheadLog",
+    "analyze",
+    "compatible",
+]

@@ -1,0 +1,114 @@
+"""Integrity constraints — the "data correct" half of a safe transaction.
+
+A safe transaction "satisfies the data integrity constraints" in addition to
+being trusted (Section III-B).  Participants evaluate their local
+constraints at prepare time against the post-state the transaction proposes
+(committed values overlaid with the transaction's buffered writes); the
+result is the YES/NO integrity vote of 2PC and 2PVC.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple
+
+Reader = Callable[[str], Any]
+
+
+class IntegrityConstraint(abc.ABC):
+    """A named predicate over a server's (proposed) state."""
+
+    def __init__(self, name: str, keys: Sequence[str]) -> None:
+        self.name = name
+        self.keys = tuple(keys)
+
+    @abc.abstractmethod
+    def holds(self, read: Reader) -> bool:
+        """Evaluate against a ``key -> value`` view of the proposed state."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, keys={list(self.keys)})"
+
+
+class NonNegative(IntegrityConstraint):
+    """``value(key) >= 0`` — the classic account-balance constraint."""
+
+    def __init__(self, key: str, name: Optional[str] = None) -> None:
+        super().__init__(name or f"non_negative({key})", (key,))
+
+    def holds(self, read: Reader) -> bool:
+        return read(self.keys[0]) >= 0
+
+
+class UpperBound(IntegrityConstraint):
+    """``value(key) <= bound`` — e.g. warehouse capacity."""
+
+    def __init__(self, key: str, bound: float, name: Optional[str] = None) -> None:
+        super().__init__(name or f"upper_bound({key},{bound})", (key,))
+        self.bound = bound
+
+    def holds(self, read: Reader) -> bool:
+        return read(self.keys[0]) <= self.bound
+
+
+class SumInvariant(IntegrityConstraint):
+    """``sum(values of keys) == total`` — conservation across accounts."""
+
+    def __init__(self, keys: Sequence[str], total: float, name: Optional[str] = None) -> None:
+        super().__init__(name or f"sum_invariant({','.join(keys)})", keys)
+        self.total = total
+
+    def holds(self, read: Reader) -> bool:
+        return sum(read(key) for key in self.keys) == self.total
+
+
+class PredicateConstraint(IntegrityConstraint):
+    """Arbitrary user-supplied predicate over named keys."""
+
+    def __init__(
+        self,
+        name: str,
+        keys: Sequence[str],
+        predicate: Callable[..., bool],
+    ) -> None:
+        super().__init__(name, keys)
+        self.predicate = predicate
+
+    def holds(self, read: Reader) -> bool:
+        return bool(self.predicate(*(read(key) for key in self.keys)))
+
+
+class ConstraintSet:
+    """All integrity constraints enforced by one server."""
+
+    def __init__(self, constraints: Iterable[IntegrityConstraint] = ()) -> None:
+        self._constraints: List[IntegrityConstraint] = list(constraints)
+
+    def add(self, constraint: IntegrityConstraint) -> None:
+        self._constraints.append(constraint)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __iter__(self):
+        return iter(self._constraints)
+
+    def check(self, read: Reader, touched: Optional[Iterable[str]] = None) -> Tuple[bool, Tuple[str, ...]]:
+        """Evaluate constraints; returns ``(all_hold, violated_names)``.
+
+        When ``touched`` is given, only constraints mentioning a touched key
+        are evaluated (untouched state cannot have been invalidated by this
+        transaction).
+        """
+        relevant = self._constraints
+        if touched is not None:
+            touched_set = set(touched)
+            relevant = [
+                constraint
+                for constraint in self._constraints
+                if touched_set.intersection(constraint.keys)
+            ]
+        violated = tuple(
+            constraint.name for constraint in relevant if not constraint.holds(read)
+        )
+        return (not violated, violated)

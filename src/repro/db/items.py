@@ -1,0 +1,74 @@
+"""Data-item model for the per-server stores.
+
+The paper's data model is deliberately abstract: each server hosts "a subset
+D of all data items" and queries are "defined over a set of read/write
+requests".  We model items as keyed cells whose values are arbitrary Python
+objects (benchmarks use numbers so integrity constraints are meaningful).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Mapping, Optional, Tuple
+
+from repro.errors import StorageError
+
+
+@dataclass(frozen=True)
+class ItemVersion:
+    """A committed value together with provenance for auditing."""
+
+    value: Any
+    committed_by: Optional[str]
+    committed_at: float
+
+    def __repr__(self) -> str:
+        return f"ItemVersion({self.value!r} by {self.committed_by} at {self.committed_at})"
+
+
+class ItemCatalog:
+    """Maps every data item to the server responsible for hosting it.
+
+    This is the ``D_si ⊂ D`` partitioning from Section III-A.  The catalog
+    is static for a simulation run; transactions consult it to route each
+    query to the right participant.
+    """
+
+    def __init__(self, placement: Optional[Mapping[str, str]] = None) -> None:
+        self._placement: Dict[str, str] = dict(placement or {})
+
+    def assign(self, key: str, server: str) -> None:
+        """Place an item on a server (re-assignment is a config error)."""
+        existing = self._placement.get(key)
+        if existing is not None and existing != server:
+            raise StorageError(f"item {key!r} already placed on {existing!r}")
+        self._placement[key] = server
+
+    def assign_all(self, keys: Iterable[str], server: str) -> None:
+        for key in keys:
+            self.assign(key, server)
+
+    def server_for(self, key: str) -> str:
+        """The hosting server for an item."""
+        try:
+            return self._placement[key]
+        except KeyError:
+            raise StorageError(f"no placement for item {key!r}") from None
+
+    def items_on(self, server: str) -> Tuple[str, ...]:
+        """All items hosted by a server."""
+        return tuple(key for key, host in self._placement.items() if host == server)
+
+    def servers(self) -> Tuple[str, ...]:
+        """All servers appearing in the placement, in first-seen order."""
+        seen = []
+        for host in self._placement.values():
+            if host not in seen:
+                seen.append(host)
+        return tuple(seen)
+
+    def __len__(self) -> int:
+        return len(self._placement)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._placement

@@ -1,0 +1,222 @@
+"""Strict two-phase locking with wait-for-graph deadlock detection.
+
+Each cloud server runs one :class:`LockManager`.  Queries acquire shared
+(read) or exclusive (write) locks before touching items; all locks are held
+until the transaction's global commit/abort decision arrives (strict 2PL),
+which is what makes 2PC/2PVC recoverable.
+
+Lock waits are simulation events: :meth:`LockManager.acquire` returns an
+event that a server process ``yield``\\ s.  When a wait would close a cycle
+in the wait-for graph, the *requesting* transaction is chosen as the victim
+and its event fails with :class:`~repro.errors.DeadlockError`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import DeadlockError, SimulationError
+from repro.sim.events import Event
+from repro.sim.kernel import Environment
+
+
+class LockMode(enum.Enum):
+    """Shared (read) or exclusive (write)."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+def compatible(held: LockMode, requested: LockMode) -> bool:
+    """Standard S/X compatibility matrix."""
+    return held is LockMode.SHARED and requested is LockMode.SHARED
+
+
+@dataclass
+class _WaitEntry:
+    txn_id: str
+    mode: LockMode
+    event: Event
+
+
+@dataclass
+class _LockState:
+    mode: Optional[LockMode] = None
+    holders: Set[str] = field(default_factory=set)
+    queue: List[_WaitEntry] = field(default_factory=list)
+
+
+class LockManager:
+    """Per-server lock table."""
+
+    def __init__(self, env: Environment, server: str = "?") -> None:
+        self.env = env
+        self.server = server
+        self._locks: Dict[str, _LockState] = {}
+        #: Keys held per transaction, for O(1) release.
+        self._held_by_txn: Dict[str, Set[str]] = {}
+
+    # -- inspection -------------------------------------------------------------
+
+    def holders(self, key: str) -> Tuple[str, ...]:
+        state = self._locks.get(key)
+        return tuple(sorted(state.holders)) if state else ()
+
+    def mode(self, key: str) -> Optional[LockMode]:
+        state = self._locks.get(key)
+        return state.mode if state and state.holders else None
+
+    def waiting(self, key: str) -> Tuple[str, ...]:
+        state = self._locks.get(key)
+        return tuple(entry.txn_id for entry in state.queue) if state else ()
+
+    def locks_held(self, txn_id: str) -> Tuple[str, ...]:
+        return tuple(sorted(self._held_by_txn.get(txn_id, ())))
+
+    # -- acquisition ------------------------------------------------------------
+
+    def acquire(self, txn_id: str, key: str, mode: LockMode) -> Event:
+        """Request a lock.  The returned event succeeds when granted.
+
+        Reentrant requests (already holding a sufficient lock) succeed
+        immediately.  A shared→exclusive upgrade is granted immediately when
+        the transaction is the sole holder, otherwise it waits in the queue
+        like any other request.
+        """
+        event = self.env.event()
+        state = self._locks.setdefault(key, _LockState())
+
+        if txn_id in state.holders:
+            if state.mode is LockMode.EXCLUSIVE or mode is LockMode.SHARED:
+                event.succeed((key, mode))
+                return event
+            if len(state.holders) == 1:  # sole-holder upgrade
+                state.mode = LockMode.EXCLUSIVE
+                event.succeed((key, mode))
+                return event
+            # Upgrade must wait for the other sharers to drain.
+            self._enqueue(state, txn_id, key, mode, event)
+            return event
+
+        if not state.holders and not state.queue:
+            self._grant(state, txn_id, key, mode)
+            event.succeed((key, mode))
+            return event
+        if (
+            state.holders
+            and not state.queue
+            and compatible(state.mode, mode)  # type: ignore[arg-type]
+        ):
+            self._grant(state, txn_id, key, mode)
+            event.succeed((key, mode))
+            return event
+
+        self._enqueue(state, txn_id, key, mode, event)
+        return event
+
+    def _grant(self, state: _LockState, txn_id: str, key: str, mode: LockMode) -> None:
+        state.mode = mode if not state.holders else state.mode
+        state.holders.add(txn_id)
+        self._held_by_txn.setdefault(txn_id, set()).add(key)
+
+    def _enqueue(
+        self, state: _LockState, txn_id: str, key: str, mode: LockMode, event: Event
+    ) -> None:
+        entry = _WaitEntry(txn_id, mode, event)
+        state.queue.append(entry)
+        cycle = self._find_cycle(txn_id)
+        if cycle is not None:
+            state.queue.remove(entry)
+            event.fail(DeadlockError(victim=txn_id, cycle=tuple(cycle)))
+
+    # -- release --------------------------------------------------------------
+
+    def release_all(self, txn_id: str) -> None:
+        """Strict 2PL release: drop every lock the transaction holds.
+
+        Queued waits of the transaction are *cancelled*: their events fail
+        with :class:`DeadlockError` so a handler blocked on the acquire
+        wakes up and rolls back instead of waiting forever.  This is how a
+        coordinator-initiated abort (e.g. after a request timeout resolving
+        a cross-server deadlock) reclaims a participant's queued requests.
+        """
+        for key, state in self._locks.items():
+            for entry in state.queue:
+                if entry.txn_id == txn_id and not entry.event.triggered:
+                    entry.event.fail(
+                        DeadlockError(victim=txn_id, cycle=("cancelled", key))
+                    )
+            state.queue[:] = [
+                entry
+                for entry in state.queue
+                if entry.txn_id != txn_id or entry.event.processed
+            ]
+        for key in self._held_by_txn.pop(txn_id, set()):
+            state = self._locks[key]
+            state.holders.discard(txn_id)
+            if not state.holders:
+                state.mode = None
+            self._promote(key, state)
+
+    def _promote(self, key: str, state: _LockState) -> None:
+        """Grant queued requests FIFO as compatibility allows."""
+        while state.queue:
+            entry = state.queue[0]
+            if entry.event.triggered:  # cancelled (e.g. deadlock victim)
+                state.queue.pop(0)
+                continue
+            upgrade = entry.txn_id in state.holders
+            if upgrade:
+                if len(state.holders) == 1:
+                    state.mode = LockMode.EXCLUSIVE
+                    state.queue.pop(0)
+                    entry.event.succeed((key, entry.mode))
+                    continue
+                break
+            if not state.holders or compatible(state.mode, entry.mode):  # type: ignore[arg-type]
+                self._grant(state, entry.txn_id, key, entry.mode)
+                state.queue.pop(0)
+                entry.event.succeed((key, entry.mode))
+                continue
+            break
+
+    # -- deadlock detection ------------------------------------------------------
+
+    def _wait_for_edges(self) -> Dict[str, Set[str]]:
+        """Edges waiter → holder (and waiter → earlier incompatible waiter)."""
+        edges: Dict[str, Set[str]] = {}
+        for state in self._locks.values():
+            for position, entry in enumerate(state.queue):
+                if entry.event.triggered:
+                    continue
+                blockers = {holder for holder in state.holders if holder != entry.txn_id}
+                for earlier in state.queue[:position]:
+                    if not earlier.event.triggered and earlier.txn_id != entry.txn_id:
+                        blockers.add(earlier.txn_id)
+                if blockers:
+                    edges.setdefault(entry.txn_id, set()).update(blockers)
+        return edges
+
+    def _find_cycle(self, start: str) -> Optional[List[str]]:
+        """DFS from ``start`` through the wait-for graph looking for a cycle."""
+        edges = self._wait_for_edges()
+        path: List[str] = []
+        visited: Set[str] = set()
+
+        def dfs(node: str) -> Optional[List[str]]:
+            if node == start and path:
+                return list(path)
+            if node in visited:
+                return None
+            visited.add(node)
+            path.append(node)
+            for neighbour in edges.get(node, ()):
+                found = dfs(neighbour)
+                if found is not None:
+                    return found
+            path.pop()
+            return None
+
+        return dfs(start)

@@ -1,0 +1,94 @@
+"""Message and proof-evaluation counters.
+
+The paper evaluates its protocols on three axes (Section VI-A): message
+complexity, proof-evaluation complexity, and log complexity.
+:class:`MessageCounters` plugs into the network as its ``message_hook``;
+proof evaluations are counted by the servers through :class:`Metrics`;
+forced log writes are read off each node's WAL.
+
+Counters are kept both globally (by category) and per transaction (messages
+whose payload carries a ``txn_id``), so benches can report exact per-
+transaction protocol costs against the Table I formulas.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.cloud.messages import PROTOCOL_CATEGORIES
+from repro.sim.network import Message
+
+
+class MessageCounters:
+    """Counts messages by category, and by (transaction, category)."""
+
+    def __init__(self) -> None:
+        self.by_category: Counter = Counter()
+        self.by_txn: Dict[str, Counter] = {}
+
+    # network hook ------------------------------------------------------------
+
+    def on_message(self, message: Message) -> None:
+        """Called by the network for every message sent."""
+        self.by_category[message.category] += 1
+        txn_id = message.payload.get("txn_id")
+        if txn_id is not None:
+            self.by_txn.setdefault(txn_id, Counter())[message.category] += 1
+
+    # queries ------------------------------------------------------------------
+
+    def total(self, categories: Optional[Iterable[str]] = None) -> int:
+        """Total messages, optionally restricted to some categories."""
+        if categories is None:
+            return sum(self.by_category.values())
+        return sum(self.by_category[category] for category in categories)
+
+    def protocol_total(self) -> int:
+        """Messages counted by the paper's Table I (protocol categories)."""
+        return self.total(PROTOCOL_CATEGORIES)
+
+    def for_txn(self, txn_id: str, categories: Optional[Iterable[str]] = None) -> int:
+        """Messages attributed to one transaction."""
+        counter = self.by_txn.get(txn_id, Counter())
+        if categories is None:
+            return sum(counter.values())
+        return sum(counter[category] for category in categories)
+
+    def protocol_for_txn(self, txn_id: str) -> int:
+        """Protocol (Table I) messages attributed to one transaction."""
+        return self.for_txn(txn_id, PROTOCOL_CATEGORIES)
+
+    def breakdown_for_txn(self, txn_id: str) -> Dict[str, int]:
+        """Category → count for one transaction."""
+        return dict(self.by_txn.get(txn_id, Counter()))
+
+
+class ProofCounters:
+    """Counts proof-of-authorization evaluations (the ``eval(f, t)`` calls)."""
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.by_server: Counter = Counter()
+        self.by_txn: Counter = Counter()
+
+    def on_proof(self, server: str, txn_id: Optional[str] = None) -> None:
+        self.total += 1
+        self.by_server[server] += 1
+        if txn_id is not None:
+            self.by_txn[txn_id] += 1
+
+    def for_txn(self, txn_id: str) -> int:
+        return self.by_txn[txn_id]
+
+
+class Metrics:
+    """Bundle of all counters for one simulation."""
+
+    def __init__(self) -> None:
+        self.messages = MessageCounters()
+        self.proofs = ProofCounters()
+
+    # convenience used as the network hook directly
+    def on_message(self, message: Message) -> None:
+        self.messages.on_message(message)

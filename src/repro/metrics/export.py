@@ -1,0 +1,94 @@
+"""Export transaction outcomes for external analysis.
+
+Benches and long simulations produce lists of
+:class:`~repro.metrics.stats.TransactionOutcome`; these helpers serialize
+them to CSV or JSON so results can be analysed outside the simulator
+(pandas, gnuplot, spreadsheets).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, TextIO, Union
+
+from repro.metrics.stats import TransactionOutcome
+
+#: Column order of the CSV/JSON export.
+FIELDS = (
+    "txn_id",
+    "approach",
+    "consistency",
+    "committed",
+    "abort_reason",
+    "started_at",
+    "execution_done_at",
+    "finished_at",
+    "latency",
+    "queries_total",
+    "queries_executed",
+    "participants",
+    "voting_rounds",
+    "commit_rounds",
+    "protocol_messages",
+    "proof_evaluations",
+)
+
+
+def outcome_to_dict(outcome: TransactionOutcome) -> Dict[str, Any]:
+    """Flatten one outcome into plain JSON-serializable values."""
+    return {
+        "txn_id": outcome.txn_id,
+        "approach": outcome.approach,
+        "consistency": outcome.consistency,
+        "committed": outcome.committed,
+        "abort_reason": outcome.abort_reason.value if outcome.abort_reason else None,
+        "started_at": outcome.started_at,
+        "execution_done_at": outcome.execution_done_at,
+        "finished_at": outcome.finished_at,
+        "latency": outcome.latency,
+        "queries_total": outcome.queries_total,
+        "queries_executed": outcome.queries_executed,
+        "participants": outcome.participants,
+        "voting_rounds": outcome.voting_rounds,
+        "commit_rounds": outcome.commit_rounds,
+        "protocol_messages": outcome.protocol_messages,
+        "proof_evaluations": outcome.proof_evaluations,
+    }
+
+
+def to_json(
+    outcomes: Iterable[TransactionOutcome],
+    stream: Optional[TextIO] = None,
+    indent: int = 2,
+) -> str:
+    """Serialize outcomes as a JSON array; returns the text."""
+    text = json.dumps([outcome_to_dict(o) for o in outcomes], indent=indent)
+    if stream is not None:
+        stream.write(text)
+    return text
+
+
+def to_csv(
+    outcomes: Iterable[TransactionOutcome],
+    stream: Optional[TextIO] = None,
+) -> str:
+    """Serialize outcomes as CSV with a header row; returns the text."""
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(FIELDS))
+    writer.writeheader()
+    for outcome in outcomes:
+        writer.writerow(outcome_to_dict(outcome))
+    text = buffer.getvalue()
+    if stream is not None:
+        stream.write(text)
+    return text
+
+
+def from_json(text: str) -> List[Dict[str, Any]]:
+    """Load an exported JSON array back into dicts (round-trip helper)."""
+    data = json.loads(text)
+    if not isinstance(data, list):
+        raise ValueError("expected a JSON array of outcomes")
+    return data

@@ -1,0 +1,133 @@
+"""Per-transaction outcome records and aggregate statistics.
+
+The trade-off benches (Section VI-B) compare approaches on commit latency,
+abort rates, *where* in the lifecycle aborts are detected (early detection
+saves "expensive undo operations"), and protocol cost.  Each finished
+transaction yields a :class:`TransactionOutcome`; :class:`OutcomeAggregate`
+summarizes a batch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import AbortReason
+
+
+@dataclass(frozen=True)
+class TransactionOutcome:
+    """Everything the benches need to know about one finished transaction."""
+
+    txn_id: str
+    approach: str
+    consistency: str
+    committed: bool
+    abort_reason: Optional[AbortReason]
+    #: α(T): submission time.
+    started_at: float
+    #: Time the last query finished executing (ω(T), "ready to commit").
+    execution_done_at: float
+    #: Time the global decision took effect.
+    finished_at: float
+    queries_total: int
+    queries_executed: int
+    participants: int
+    #: Collection/voting rounds across the whole lifetime (Continuous adds
+    #: its per-query 2PV rounds here).
+    voting_rounds: int
+    protocol_messages: int
+    proof_evaluations: int
+    #: Rounds of the commit-time protocol alone (Table I's ``r``).
+    commit_rounds: int = 0
+
+    @property
+    def latency(self) -> float:
+        """End-to-end latency (submission → decision)."""
+        return self.finished_at - self.started_at
+
+    @property
+    def execution_time(self) -> float:
+        return self.execution_done_at - self.started_at
+
+    @property
+    def commit_phase_time(self) -> float:
+        """Time spent in the commit-time protocol (2PC/2PVC [+2PV])."""
+        return self.finished_at - self.execution_done_at
+
+    @property
+    def wasted_time(self) -> float:
+        """Simulated time burnt on a transaction that ultimately aborted."""
+        return self.latency if not self.committed else 0.0
+
+
+@dataclass
+class OutcomeAggregate:
+    """Summary statistics over a batch of outcomes."""
+
+    count: int
+    commits: int
+    aborts: int
+    abort_reasons: Dict[str, int]
+    mean_latency: float
+    p95_latency: float
+    mean_commit_latency: float
+    mean_messages: float
+    mean_proofs: float
+    total_wasted_time: float
+    mean_queries_before_abort: float
+
+    @property
+    def commit_rate(self) -> float:
+        return self.commits / self.count if self.count else 0.0
+
+    @property
+    def abort_rate(self) -> float:
+        return self.aborts / self.count if self.count else 0.0
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile; 0.0 for an empty sequence."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+def aggregate(outcomes: Iterable[TransactionOutcome]) -> OutcomeAggregate:
+    """Summarize a batch of transaction outcomes."""
+    outcomes = list(outcomes)
+    commits = [outcome for outcome in outcomes if outcome.committed]
+    aborts = [outcome for outcome in outcomes if not outcome.committed]
+    reasons: Dict[str, int] = {}
+    for outcome in aborts:
+        key = outcome.abort_reason.value if outcome.abort_reason else "unknown"
+        reasons[key] = reasons.get(key, 0) + 1
+    latencies = [outcome.latency for outcome in outcomes]
+    return OutcomeAggregate(
+        count=len(outcomes),
+        commits=len(commits),
+        aborts=len(aborts),
+        abort_reasons=reasons,
+        mean_latency=sum(latencies) / len(latencies) if latencies else 0.0,
+        p95_latency=percentile(latencies, 0.95),
+        mean_commit_latency=(
+            sum(outcome.latency for outcome in commits) / len(commits) if commits else 0.0
+        ),
+        mean_messages=(
+            sum(outcome.protocol_messages for outcome in outcomes) / len(outcomes)
+            if outcomes
+            else 0.0
+        ),
+        mean_proofs=(
+            sum(outcome.proof_evaluations for outcome in outcomes) / len(outcomes)
+            if outcomes
+            else 0.0
+        ),
+        total_wasted_time=sum(outcome.wasted_time for outcome in outcomes),
+        mean_queries_before_abort=(
+            sum(outcome.queries_executed for outcome in aborts) / len(aborts) if aborts else 0.0
+        ),
+    )

@@ -1,0 +1,71 @@
+"""Authorization substrate: rules, credentials, policies, and proofs.
+
+* :mod:`repro.policy.rules` — Datalog-style inference rules + proof trees.
+* :mod:`repro.policy.credentials` — credentials, CAs, revocation.
+* :mod:`repro.policy.ocsp` — the online status-checking service.
+* :mod:`repro.policy.policy` — versioned policies per administrative domain.
+* :mod:`repro.policy.store` — per-server policy stores.
+* :mod:`repro.policy.admin` — policy administrators (authoritative versions).
+* :mod:`repro.policy.proofs` — proof-of-authorization evaluation (``eval(f, t)``).
+"""
+
+from repro.policy.admin import PolicyAdministrator
+from repro.policy.credentials import (
+    CARegistry,
+    CertificateAuthority,
+    Credential,
+    NEVER,
+    RevocationRecord,
+)
+from repro.policy.ocsp import OCSPResponder, fetch_statuses
+from repro.policy.parser import (
+    parse_atom,
+    parse_rules,
+    render_atom,
+    render_rule,
+    render_rules,
+)
+from repro.policy.policy import GUARD_PREDICATES, Operation, Policy, PolicyId, ver
+from repro.policy.proofs import (
+    CredentialAssessment,
+    LocalRevocationChecker,
+    PrefetchedStatuses,
+    ProofOfAuthorization,
+    RevocationChecker,
+    evaluate_proof,
+)
+from repro.policy.rules import Atom, FactBase, ProofNode, Rule, RuleSet, Variable, unify
+
+__all__ = [
+    "Atom",
+    "CARegistry",
+    "CertificateAuthority",
+    "Credential",
+    "CredentialAssessment",
+    "FactBase",
+    "GUARD_PREDICATES",
+    "LocalRevocationChecker",
+    "NEVER",
+    "OCSPResponder",
+    "Operation",
+    "Policy",
+    "PolicyAdministrator",
+    "PolicyId",
+    "PrefetchedStatuses",
+    "ProofNode",
+    "ProofOfAuthorization",
+    "RevocationChecker",
+    "RevocationRecord",
+    "Rule",
+    "RuleSet",
+    "Variable",
+    "evaluate_proof",
+    "fetch_statuses",
+    "parse_atom",
+    "parse_rules",
+    "render_atom",
+    "render_rule",
+    "render_rules",
+    "unify",
+    "ver",
+]

@@ -1,0 +1,202 @@
+"""Proofs of authorization and their evaluation.
+
+Section III-A: a proof of authorization is the tuple
+``f_si = <q_i, s_i, P_si(m(q_i)), t_i, C>`` and its validity at time ``t``
+is the predicate ``eval(f, t)``, true when (1) the presented credentials are
+syntactically and semantically valid and (2) the policy's inference rules
+are satisfiable from those credentials.
+
+:func:`evaluate_proof` performs the evaluation and returns a
+:class:`ProofOfAuthorization` — an immutable record including the derivation
+trees, suitable for storing in a transaction's view (Definition 1).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.policy.credentials import CARegistry, Credential
+from repro.policy.policy import Operation, Policy, PolicyId
+from repro.policy.rules import FactBase, ProofNode
+
+
+class RevocationChecker(abc.ABC):
+    """How semantic validity (non-revocation) is established.
+
+    The paper assumes "each CA offers an online method that allows any
+    server to check the current status of a particular credential" (OCSP,
+    RFC 2560).  Implementations either consult the CA registry directly
+    (:class:`LocalRevocationChecker`, the zero-latency oracle) or replay
+    statuses previously fetched over the simulated network
+    (:class:`PrefetchedStatuses`, produced by the OCSP responder node).
+    """
+
+    @abc.abstractmethod
+    def check(self, credential: Credential, relied_at: float, now: float) -> Tuple[bool, str]:
+        """Return ``(clean, reason)`` for ``credential`` over ``[relied_at, now]``."""
+
+
+class LocalRevocationChecker(RevocationChecker):
+    """Synchronous oracle backed by the CA registry."""
+
+    def __init__(self, registry: CARegistry) -> None:
+        self.registry = registry
+
+    def check(self, credential: Credential, relied_at: float, now: float) -> Tuple[bool, str]:
+        return self.registry.semantically_valid(credential, relied_at, now)
+
+
+class PrefetchedStatuses(RevocationChecker):
+    """Statuses previously retrieved from an OCSP responder.
+
+    Credentials missing from the prefetched map are treated as unverifiable
+    and therefore invalid — failing closed is the safe default.
+    """
+
+    def __init__(self, statuses: Mapping[str, bool]) -> None:
+        self.statuses = dict(statuses)
+
+    def check(self, credential: Credential, relied_at: float, now: float) -> Tuple[bool, str]:
+        clean = self.statuses.get(credential.cred_id)
+        if clean is None:
+            return False, "status_unavailable"
+        return (True, "ok") if clean else (False, "revoked")
+
+
+@dataclass(frozen=True)
+class CredentialAssessment:
+    """Outcome of validity checking for one presented credential."""
+
+    cred_id: str
+    syntactic_ok: bool
+    semantic_ok: bool
+    reason: str
+
+    @property
+    def ok(self) -> bool:
+        return self.syntactic_ok and self.semantic_ok
+
+
+@dataclass(frozen=True)
+class ProofOfAuthorization:
+    """The paper's ``f_si = <q_i, s_i, P_si(m(q_i)), t_i, C>`` plus verdict.
+
+    ``granted`` is the value of ``eval(f, t_i)`` — whether every touched
+    item's access goal was derivable from the (valid) credentials under the
+    policy version recorded here.
+    """
+
+    query_id: str
+    user: str
+    operation: Operation
+    items: Tuple[str, ...]
+    server: str
+    policy_id: PolicyId
+    policy_version: int
+    evaluated_at: float
+    credential_ids: Tuple[str, ...]
+    granted: bool
+    reason: str
+    assessments: Tuple[CredentialAssessment, ...]
+    derivations: Tuple[ProofNode, ...]
+
+    @property
+    def admin(self) -> str:
+        """The administrative domain whose policy was applied."""
+        return self.policy_id.admin
+
+    def credentials_used(self) -> Tuple[str, ...]:
+        """Ids of credentials actually appearing as leaves of the derivations."""
+        used: List[str] = []
+        for derivation in self.derivations:
+            for source in derivation.sources():
+                if source not in used:
+                    used.append(source)
+        return tuple(used)
+
+    def __repr__(self) -> str:
+        verdict = "GRANTED" if self.granted else f"DENIED({self.reason})"
+        return (
+            f"Proof({self.query_id}@{self.server} {self.operation.value} "
+            f"{list(self.items)} under {self.admin} v{self.policy_version} "
+            f"at t={self.evaluated_at}: {verdict})"
+        )
+
+
+def assess_credentials(
+    credentials: Sequence[Credential],
+    registry: CARegistry,
+    revocation: RevocationChecker,
+    now: float,
+) -> List[CredentialAssessment]:
+    """Run syntactic + semantic validity over each presented credential."""
+    assessments: List[CredentialAssessment] = []
+    for credential in credentials:
+        syntactic_ok, reason = registry.syntactically_valid(credential, now)
+        semantic_ok = False
+        if syntactic_ok:
+            semantic_ok, sem_reason = revocation.check(credential, credential.issued_at, now)
+            if not semantic_ok:
+                reason = sem_reason
+        cred_id = getattr(credential, "cred_id", f"<malformed:{credential!r}>")
+        assessments.append(
+            CredentialAssessment(cred_id, syntactic_ok, semantic_ok, reason)
+        )
+    return assessments
+
+
+def evaluate_proof(
+    policy: Policy,
+    query_id: str,
+    user: str,
+    operation: Operation,
+    items: Sequence[str],
+    credentials: Sequence[Credential],
+    server: str,
+    now: float,
+    registry: CARegistry,
+    revocation: Optional[RevocationChecker] = None,
+) -> ProofOfAuthorization:
+    """Evaluate ``eval(f, now)`` and build the full proof record.
+
+    The two validity cases of Section III-A are applied in order: invalid
+    credentials are discarded (never contributing facts), then each touched
+    item's access goal must be derivable from the surviving credentials.
+    """
+    revocation = revocation or LocalRevocationChecker(registry)
+    assessments = assess_credentials(credentials, registry, revocation, now)
+    facts = FactBase()
+    for credential, assessment in zip(credentials, assessments):
+        if assessment.ok:
+            facts.add(credential.atom, source=credential.cred_id)
+
+    derivations: List[ProofNode] = []
+    granted = True
+    reason = "ok"
+    for item in items:
+        goal = policy.goal(operation, user, item)
+        derivation = policy.rules.prove(goal, facts)
+        if derivation is None:
+            granted = False
+            bad = [a.cred_id for a in assessments if not a.ok]
+            reason = f"unprovable:{goal!r}" + (f" (invalid credentials: {bad})" if bad else "")
+            break
+        derivations.append(derivation)
+
+    return ProofOfAuthorization(
+        query_id=query_id,
+        user=user,
+        operation=operation,
+        items=tuple(items),
+        server=server,
+        policy_id=policy.policy_id,
+        policy_version=policy.version,
+        evaluated_at=now,
+        credential_ids=tuple(c.cred_id for c in credentials),
+        granted=granted,
+        reason=reason,
+        assessments=tuple(assessments),
+        derivations=tuple(derivations),
+    )

@@ -1,0 +1,327 @@
+"""Datalog-style inference rules with proof-tree construction.
+
+The paper models an authorization policy as "a set of inference rules that
+are encoded by policy makers" where "if the inference rules of the policy can
+be satisfied using the user credentials, then the proof of authorization is
+said to be valid" (Section III-A).  This module provides exactly that: atoms,
+Horn rules, and a backward-chaining solver that returns the derivation tree
+(the *proof*) justifying an access decision.
+
+Example
+-------
+>>> X, R = Variable("X"), Variable("R")
+>>> rules = RuleSet([
+...     Rule(Atom("may_read", (X, "customers")),
+...          (Atom("sales_rep", (X,)),
+...           Atom("assigned_region", (X, R)),
+...           Atom("located_in", (X, R)))),
+... ])
+>>> facts = FactBase()
+>>> for fact in [Atom("sales_rep", ("bob",)),
+...              Atom("assigned_region", ("bob", "east")),
+...              Atom("located_in", ("bob", "east"))]:
+...     facts.add(fact, source="cred")
+>>> proof = rules.prove(Atom("may_read", ("bob", "customers")), facts)
+>>> proof is not None
+True
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import PolicyError
+
+#: Maximum recursion depth of the backward-chaining solver.  Policies in the
+#: paper's setting are tiny; the limit exists to turn accidental cycles in
+#: hand-written rule sets into clean failures instead of hangs.
+MAX_DEPTH = 64
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A logic variable (distinct from string constants)."""
+
+    name: str
+
+    def __repr__(self) -> str:
+        return f"?{self.name}"
+
+
+Term = Union[str, int, Variable]
+Substitution = Dict[Variable, Term]
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A predicate applied to terms, e.g. ``may_read(bob, customers)``."""
+
+    predicate: str
+    args: Tuple[Term, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.predicate:
+            raise PolicyError("atom predicate must be a non-empty string")
+        object.__setattr__(self, "args", tuple(self.args))
+
+    @property
+    def is_ground(self) -> bool:
+        """Whether the atom contains no variables."""
+        return not any(isinstance(arg, Variable) for arg in self.args)
+
+    def substitute(self, subst: Substitution) -> "Atom":
+        """Apply a substitution to every variable argument."""
+        if not subst:
+            return self
+        return Atom(
+            self.predicate,
+            tuple(_walk(arg, subst) for arg in self.args),
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(arg) if isinstance(arg, Variable) else str(arg) for arg in self.args)
+        return f"{self.predicate}({inner})"
+
+
+def _walk(term: Term, subst: Substitution) -> Term:
+    """Chase a variable through the substitution until a non-var or free var."""
+    while isinstance(term, Variable) and term in subst:
+        term = subst[term]
+    return term
+
+
+def unify(left: Atom, right: Atom, subst: Substitution) -> Optional[Substitution]:
+    """Unify two atoms under ``subst``; return the extended substitution.
+
+    Returns ``None`` when unification fails.  The input substitution is not
+    mutated.
+    """
+    if left.predicate != right.predicate or len(left.args) != len(right.args):
+        return None
+    out = dict(subst)
+    for a, b in zip(left.args, right.args):
+        a, b = _walk(a, out), _walk(b, out)
+        if a == b:
+            continue
+        if isinstance(a, Variable):
+            out[a] = b
+        elif isinstance(b, Variable):
+            out[b] = a
+        else:
+            return None
+    return out
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A Horn rule ``head :- body``.  An empty body makes the rule a fact."""
+
+    head: Atom
+    body: Tuple[Atom, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+        head_vars = {arg for arg in self.head.args if isinstance(arg, Variable)}
+        body_vars = {
+            arg for atom in self.body for arg in atom.args if isinstance(arg, Variable)
+        }
+        unsafe = head_vars - body_vars
+        if self.body and unsafe:
+            # Range restriction is what makes proofs finite & auditable.
+            raise PolicyError(f"unsafe head variables {sorted(v.name for v in unsafe)} in {self}")
+
+    def rename(self, counter: Iterator[int]) -> "Rule":
+        """Return a copy with variables renamed apart (for unification)."""
+        mapping: Dict[Variable, Variable] = {}
+
+        def fresh(term: Term) -> Term:
+            if not isinstance(term, Variable):
+                return term
+            if term not in mapping:
+                mapping[term] = Variable(f"{term.name}~{next(counter)}")
+            return mapping[term]
+
+        head = Atom(self.head.predicate, tuple(fresh(arg) for arg in self.head.args))
+        body = tuple(
+            Atom(atom.predicate, tuple(fresh(arg) for arg in atom.args)) for atom in self.body
+        )
+        return Rule(head, body)
+
+    def __repr__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        return f"{self.head} :- {', '.join(map(repr, self.body))}"
+
+
+@dataclass(frozen=True)
+class ProofNode:
+    """One step of a derivation: an established ground atom and its support.
+
+    ``justification`` is ``"fact"`` for leaves (supported by ``source``, the
+    identifier of the credential contributing the fact) and ``"rule"`` for
+    internal nodes derived through ``rule`` from ``children``.
+    """
+
+    atom: Atom
+    justification: str
+    children: Tuple["ProofNode", ...] = ()
+    rule: Optional[Rule] = None
+    source: Optional[str] = None
+
+    def leaves(self) -> List["ProofNode"]:
+        """All fact leaves of the derivation (the credentials used)."""
+        if self.justification == "fact":
+            return [self]
+        out: List[ProofNode] = []
+        for child in self.children:
+            out.extend(child.leaves())
+        return out
+
+    def sources(self) -> Tuple[str, ...]:
+        """Identifiers of the credentials supporting this derivation."""
+        return tuple(leaf.source for leaf in self.leaves() if leaf.source is not None)
+
+    def size(self) -> int:
+        """Number of nodes in the derivation tree."""
+        return 1 + sum(child.size() for child in self.children)
+
+    def explain(self, indent: int = 0) -> str:
+        """Human-readable derivation tree, for authorization audit trails.
+
+        ::
+
+            may_read(bob, customers)                    [rule]
+              sales_rep(bob)                            [credential ca/c1]
+              assigned_region(bob, east)                [credential ca/c2]
+              located_in(bob, east)                     [credential ca/c3]
+        """
+        pad = "  " * indent
+        if self.justification == "fact":
+            source = f"credential {self.source}" if self.source else "fact"
+            lines = [f"{pad}{self.atom!r}  [{source}]"]
+        else:
+            lines = [f"{pad}{self.atom!r}  [rule]"]
+        for child in self.children:
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+
+class FactBase:
+    """Ground facts, each tagged with the credential that asserted it."""
+
+    def __init__(self) -> None:
+        self._by_predicate: Dict[str, List[Tuple[Atom, Optional[str]]]] = {}
+
+    def add(self, fact: Atom, source: Optional[str] = None) -> None:
+        """Insert a ground fact (``source`` is typically a credential id)."""
+        if not fact.is_ground:
+            raise PolicyError(f"facts must be ground, got {fact!r}")
+        self._by_predicate.setdefault(fact.predicate, []).append((fact, source))
+
+    def candidates(self, predicate: str) -> Sequence[Tuple[Atom, Optional[str]]]:
+        """All facts with the given predicate."""
+        return self._by_predicate.get(predicate, ())
+
+    def __len__(self) -> int:
+        return sum(len(v) for v in self._by_predicate.values())
+
+    def __contains__(self, fact: Atom) -> bool:
+        return any(existing == fact for existing, _src in self.candidates(fact.predicate))
+
+
+class RuleSet:
+    """An immutable collection of rules with a backward-chaining prover."""
+
+    def __init__(self, rules: Iterable[Rule]) -> None:
+        self._rules: Tuple[Rule, ...] = tuple(rules)
+        self._by_head: Dict[str, List[Rule]] = {}
+        for rule in self._rules:
+            self._by_head.setdefault(rule.head.predicate, []).append(rule)
+
+    @property
+    def rules(self) -> Tuple[Rule, ...]:
+        return self._rules
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, RuleSet) and self._rules == other._rules
+
+    def __hash__(self) -> int:
+        return hash(self._rules)
+
+    def prove(self, goal: Atom, facts: FactBase) -> Optional[ProofNode]:
+        """Return a derivation of ``goal`` from ``facts``, or ``None``.
+
+        Only the first proof found is returned (access control needs any
+        witness, not all of them).
+        """
+        counter = itertools.count()
+        for subst, node in self._solve(goal, {}, facts, counter, depth=0, stack=()):
+            resolved = node_substitute(node, subst)
+            return resolved
+        return None
+
+    def _solve(
+        self,
+        goal: Atom,
+        subst: Substitution,
+        facts: FactBase,
+        counter: Iterator[int],
+        depth: int,
+        stack: Tuple[Atom, ...],
+    ) -> Iterator[Tuple[Substitution, ProofNode]]:
+        if depth > MAX_DEPTH:
+            return
+        concrete = goal.substitute(subst)
+        if concrete in stack:
+            return  # cycle guard
+        # 1. facts
+        for fact, source in facts.candidates(concrete.predicate):
+            extended = unify(concrete, fact, subst)
+            if extended is not None:
+                yield extended, ProofNode(fact, "fact", source=source)
+        # 2. rules
+        for rule in self._by_head.get(concrete.predicate, ()):  # noqa: B020
+            fresh = rule.rename(counter)
+            extended = unify(concrete, fresh.head, subst)
+            if extended is None:
+                continue
+            for body_subst, children in self._solve_body(
+                fresh.body, extended, facts, counter, depth + 1, stack + (concrete,)
+            ):
+                head_ground = fresh.head.substitute(body_subst)
+                yield body_subst, ProofNode(head_ground, "rule", tuple(children), rule=rule)
+
+    def _solve_body(
+        self,
+        body: Tuple[Atom, ...],
+        subst: Substitution,
+        facts: FactBase,
+        counter: Iterator[int],
+        depth: int,
+        stack: Tuple[Atom, ...],
+    ) -> Iterator[Tuple[Substitution, List[ProofNode]]]:
+        if not body:
+            yield subst, []
+            return
+        head_goal, rest = body[0], body[1:]
+        for first_subst, first_node in self._solve(head_goal, subst, facts, counter, depth, stack):
+            for rest_subst, rest_nodes in self._solve_body(
+                rest, first_subst, facts, counter, depth, stack
+            ):
+                yield rest_subst, [first_node] + rest_nodes
+
+
+def node_substitute(node: ProofNode, subst: Substitution) -> ProofNode:
+    """Ground every atom of a proof tree under the final substitution."""
+    return ProofNode(
+        node.atom.substitute(subst),
+        node.justification,
+        tuple(node_substitute(child, subst) for child in node.children),
+        rule=node.rule,
+        source=node.source,
+    )

@@ -1,0 +1,65 @@
+"""Per-server policy stores.
+
+Each cloud server keeps the most recent policy version *it has seen* for
+each administrative domain.  Because policy updates propagate through the
+eventually-consistent replication layer, different servers may hold
+different versions at the same instant — which is exactly the inconsistency
+the paper's protocols detect and repair.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import PolicyError
+from repro.policy.policy import Policy, PolicyId
+
+
+class PolicyStore:
+    """The policies currently known to one server."""
+
+    def __init__(self, policies: Iterable[Policy] = ()) -> None:
+        self._policies: Dict[PolicyId, Policy] = {}
+        for policy in policies:
+            self.apply(policy)
+
+    def apply(self, policy: Policy) -> bool:
+        """Install ``policy`` if it is newer than what is already held.
+
+        Returns ``True`` when the store changed.  Stale or duplicate
+        versions are ignored (replication may deliver out of order).
+        """
+        current = self._policies.get(policy.policy_id)
+        if current is not None and current.version >= policy.version:
+            return False
+        self._policies[policy.policy_id] = policy
+        return True
+
+    def current(self, policy_id: PolicyId) -> Policy:
+        """The installed policy for a domain (raises if absent)."""
+        try:
+            return self._policies[policy_id]
+        except KeyError:
+            raise PolicyError(f"no policy installed for {policy_id!r}") from None
+
+    def get(self, policy_id: PolicyId) -> Optional[Policy]:
+        """The installed policy for a domain, or ``None``."""
+        return self._policies.get(policy_id)
+
+    def version_of(self, policy_id: PolicyId) -> int:
+        """Installed version number for a domain."""
+        return self.current(policy_id).version
+
+    def versions(self) -> Dict[PolicyId, int]:
+        """Snapshot of all (domain → version) pairs."""
+        return {pid: policy.version for pid, policy in self._policies.items()}
+
+    def domains(self) -> Tuple[PolicyId, ...]:
+        """All administrative domains with an installed policy."""
+        return tuple(self._policies)
+
+    def __len__(self) -> int:
+        return len(self._policies)
+
+    def __contains__(self, policy_id: PolicyId) -> bool:
+        return policy_id in self._policies

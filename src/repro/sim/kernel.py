@@ -1,0 +1,132 @@
+"""The discrete-event simulation environment (clock + event loop).
+
+:class:`Environment` owns the simulated clock and a priority queue of
+triggered events.  :meth:`Environment.step` pops the earliest event, advances
+the clock to its timestamp, and runs its callbacks; :meth:`Environment.run`
+steps until a deadline, a target event, or queue exhaustion.
+
+Unhandled event failures are *strict*: if a failed event is processed and no
+callback defuses it, the exception propagates out of :meth:`run`.  This turns
+silent protocol bugs into loud test failures.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Iterable, List, Optional, Tuple, Union
+
+from repro.errors import SimulationError, StopSimulation
+from repro.sim.events import AllOf, AnyOf, Event, NORMAL, Timeout
+from repro.sim.process import Process
+
+_QueueEntry = Tuple[float, int, int, Event]
+
+
+class Environment:
+    """A simulated world with its own clock and event loop."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[_QueueEntry] = []
+        self._sequence = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being stepped, if any."""
+        return self._active_process
+
+    # -- event factories -------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any], name: Optional[str] = None) -> Process:
+        """Launch a generator as a concurrent process."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """An event that succeeds once every event in ``events`` succeeds."""
+        return AllOf(self, list(events))
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """An event that succeeds once any event in ``events`` succeeds."""
+        return AnyOf(self, list(events))
+
+    # -- scheduling -------------------------------------------------------------
+
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Enqueue a triggered event for processing at ``now + delay``."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._sequence), event))
+
+    def peek(self) -> float:
+        """Timestamp of the next queued event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to its timestamp)."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _priority, _seq, event = heapq.heappop(self._queue)
+        self._now = when
+        for callback in event._mark_processed():
+            callback(event)
+        if event.exception is not None and not event.defused:
+            raise event.exception
+
+    # -- run loop --------------------------------------------------------------
+
+    def run(self, until: Union[None, float, int, Event] = None) -> Any:
+        """Run the event loop.
+
+        ``until`` may be:
+
+        * ``None`` — run until the queue drains; returns ``None``.
+        * a number — run until the clock reaches that time; returns ``None``.
+        * an :class:`Event` — run until that event is processed; returns the
+          event's value (or raises its exception).
+        """
+        if isinstance(until, Event):
+            return self._run_until_event(until)
+        if until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError(f"run(until={deadline}) is in the past (now={self._now})")
+            while self._queue and self._queue[0][0] <= deadline:
+                self.step()
+            self._now = deadline
+            return None
+        while self._queue:
+            self.step()
+        return None
+
+    def _run_until_event(self, target: Event) -> Any:
+        if target.processed:
+            return target.value
+
+        def _finish(event: Event) -> None:
+            event.defused = True
+            raise StopSimulation(event)
+
+        target.add_callback(_finish)
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation:
+            return target.value  # raises the exception if target failed
+        raise SimulationError("run(until=event): queue drained before event triggered")

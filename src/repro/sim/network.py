@@ -1,0 +1,321 @@
+"""Simulated message-passing network.
+
+Nodes (:class:`Node`) register with a :class:`Network`, which delivers typed
+:class:`Message` objects after a latency drawn from a :class:`LatencyModel`.
+The network supports request/reply exchanges with optional timeouts, node
+crashes, link failures, and probabilistic message drops — enough to exercise
+the recovery behaviour of 2PC/2PVC (Section V-C of the paper).
+
+Every message carries a *category* string.  Categories are the unit of
+accounting for the paper's Table I: protocol messages (voting, decision,
+update, master-version fetches) are counted separately from infrastructure
+traffic (OCSP checks, policy replication), exactly as the paper's analysis
+does.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from dataclasses import dataclass, field
+from itertools import count
+from typing import Any, Dict, Generator, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import NetworkError, RequestTimeout, SimulationError
+from repro.sim.events import Event
+from repro.sim.kernel import Environment
+from repro.sim.tracing import Tracer
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single network message.
+
+    ``payload`` is treated as immutable by convention; handlers must not
+    mutate it.  ``category`` is the accounting bucket (see module docstring).
+    """
+
+    msg_id: int
+    src: str
+    dst: str
+    kind: str
+    payload: Mapping[str, Any]
+    category: str
+    reply_to: Optional[int] = None
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Convenience accessor into the payload."""
+        return self.payload.get(key, default)
+
+    def __getitem__(self, key: str) -> Any:
+        return self.payload[key]
+
+
+class LatencyModel(abc.ABC):
+    """Distribution of one-way message delays."""
+
+    @abc.abstractmethod
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        """Draw a delay for a message from ``src`` to ``dst``."""
+
+
+class FixedLatency(LatencyModel):
+    """Every message takes exactly ``delay`` time units."""
+
+    def __init__(self, delay: float = 1.0) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative latency {delay!r}")
+        self.delay = delay
+
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        return self.delay
+
+
+class UniformLatency(LatencyModel):
+    """Delays drawn uniformly from ``[low, high]``."""
+
+    def __init__(self, low: float, high: float) -> None:
+        if not 0 <= low <= high:
+            raise SimulationError(f"invalid latency bounds [{low}, {high}]")
+        self.low = low
+        self.high = high
+
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        return rng.uniform(self.low, self.high)
+
+
+class LogNormalLatency(LatencyModel):
+    """Heavy-tailed delays (WAN-like): exp(N(mu, sigma)), floored at ``minimum``."""
+
+    def __init__(self, mu: float = 0.0, sigma: float = 0.5, minimum: float = 0.01) -> None:
+        if sigma < 0 or minimum < 0:
+            raise SimulationError("sigma and minimum must be non-negative")
+        self.mu = mu
+        self.sigma = sigma
+        self.minimum = minimum
+
+    def sample(self, rng: random.Random, src: str, dst: str) -> float:
+        return max(self.minimum, rng.lognormvariate(self.mu, self.sigma))
+
+
+class Node:
+    """Base class for everything that can send and receive messages."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.env: Optional[Environment] = None
+        self.network: Optional["Network"] = None
+        self._down = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def is_down(self) -> bool:
+        """Whether the node is currently crashed."""
+        return self._down
+
+    def crash(self) -> None:
+        """Crash the node: incoming messages are dropped until recovery."""
+        self._down = True
+        self.on_crash()
+
+    def recover(self) -> None:
+        """Bring the node back up and run its recovery hook."""
+        self._down = False
+        self.on_recover()
+
+    def on_crash(self) -> None:
+        """Subclass hook invoked on crash (e.g. discard volatile state)."""
+
+    def on_recover(self) -> None:
+        """Subclass hook invoked on recovery (e.g. replay the WAL)."""
+
+    # -- messaging ---------------------------------------------------------
+
+    def handle_message(self, message: Message) -> Optional[Generator[Event, Any, Any]]:
+        """Process an incoming (non-reply) message.
+
+        May return a generator, which the network runs as a process — use
+        this for handlers that need to wait (lock acquisition, OCSP checks).
+        """
+        raise NotImplementedError(f"{self.name} cannot handle {message.kind!r}")
+
+    def send(self, dst: str, kind: str, category: str, **payload: Any) -> Message:
+        """Fire-and-forget send."""
+        return self._net().send(self.name, dst, kind, payload, category)
+
+    def request(
+        self,
+        dst: str,
+        kind: str,
+        category: str,
+        timeout: Optional[float] = None,
+        **payload: Any,
+    ) -> Event:
+        """Send and return an event that resolves with the reply message."""
+        return self._net().request(self.name, dst, kind, payload, category, timeout=timeout)
+
+    def reply(self, to: Message, kind: str, category: str, **payload: Any) -> Message:
+        """Answer a request message."""
+        return self._net().send(self.name, to.src, kind, payload, category, reply_to=to.msg_id)
+
+    def _net(self) -> "Network":
+        if self.network is None:
+            raise SimulationError(f"node {self.name!r} is not registered with a network")
+        return self.network
+
+
+class Network:
+    """Delivers messages between registered nodes."""
+
+    def __init__(
+        self,
+        env: Environment,
+        rng: Optional[random.Random] = None,
+        latency: Optional[LatencyModel] = None,
+        tracer: Optional[Tracer] = None,
+        message_hook: Optional[Any] = None,
+        drop_rate: float = 0.0,
+    ) -> None:
+        self.env = env
+        self.rng = rng or random.Random(0)
+        self.latency = latency or FixedLatency(1.0)
+        self.tracer = tracer
+        #: Optional object with an ``on_message(message)`` method (metrics).
+        self.message_hook = message_hook
+        if not 0.0 <= drop_rate < 1.0:
+            raise SimulationError(f"drop_rate must be in [0, 1), got {drop_rate!r}")
+        self.drop_rate = drop_rate
+        self.nodes: Dict[str, Node] = {}
+        self.failed_links: Set[Tuple[str, str]] = set()
+        self._pending: Dict[int, Event] = {}
+        self._msg_ids = count(1)
+
+    # -- topology ----------------------------------------------------------
+
+    def register(self, node: Node) -> Node:
+        """Attach a node to this network (names must be unique)."""
+        if node.name in self.nodes:
+            raise SimulationError(f"duplicate node name {node.name!r}")
+        node.env = self.env
+        node.network = self
+        self.nodes[node.name] = node
+        return node
+
+    def node(self, name: str) -> Node:
+        """Look up a registered node by name."""
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise NetworkError(f"unknown node {name!r}") from None
+
+    def fail_link(self, src: str, dst: str, bidirectional: bool = True) -> None:
+        """Start dropping messages on a link."""
+        self.failed_links.add((src, dst))
+        if bidirectional:
+            self.failed_links.add((dst, src))
+
+    def heal_link(self, src: str, dst: str, bidirectional: bool = True) -> None:
+        """Stop dropping messages on a link."""
+        self.failed_links.discard((src, dst))
+        if bidirectional:
+            self.failed_links.discard((dst, src))
+
+    # -- sending -----------------------------------------------------------
+
+    def send(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        payload: Mapping[str, Any],
+        category: str,
+        reply_to: Optional[int] = None,
+    ) -> Message:
+        """Send a message; delivery is scheduled after a sampled latency.
+
+        The message is *counted* (hook + trace) at send time, matching the
+        paper's convention of counting messages sent, whether or not they
+        arrive.
+        """
+        if dst not in self.nodes:
+            raise NetworkError(f"unknown destination {dst!r}")
+        message = Message(
+            msg_id=next(self._msg_ids),
+            src=src,
+            dst=dst,
+            kind=kind,
+            payload=dict(payload),
+            category=category,
+            reply_to=reply_to,
+        )
+        if self.message_hook is not None:
+            self.message_hook.on_message(message)
+        if self.tracer is not None:
+            self.tracer.record(
+                self.env.now, "net.send", src=src, dst=dst, kind=kind, msg_category=category
+            )
+        dropped = (
+            (src, dst) in self.failed_links
+            or (self.drop_rate > 0 and self.rng.random() < self.drop_rate)
+        )
+        if not dropped:
+            delay = self.latency.sample(self.rng, src, dst)
+            arrival = self.env.timeout(delay, message)
+            arrival.add_callback(self._deliver)
+        return message
+
+    def _deliver(self, arrival_event: Event) -> None:
+        message: Message = arrival_event.value
+        node = self.nodes.get(message.dst)
+        if node is None or node.is_down:
+            return  # dropped on the floor; requesters rely on timeouts
+        if self.tracer is not None:
+            self.tracer.record(
+                self.env.now,
+                "net.recv",
+                src=message.src,
+                dst=message.dst,
+                kind=message.kind,
+                msg_category=message.category,
+            )
+        if message.reply_to is not None:
+            # A reply resolves its pending request; replies to fire-and-forget
+            # sends and stragglers arriving after a timeout are dropped.
+            waiter = self._pending.pop(message.reply_to, None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(message)
+            return
+        result = node.handle_message(message)
+        if result is not None:
+            self.env.process(result, name=f"{node.name}.handle[{message.kind}]")
+
+    # -- request/reply -------------------------------------------------------
+
+    def request(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        payload: Mapping[str, Any],
+        category: str,
+        timeout: Optional[float] = None,
+    ) -> Event:
+        """Send a message and return an event resolving with the reply.
+
+        If ``timeout`` elapses first, the event fails with
+        :class:`RequestTimeout`.
+        """
+        message = self.send(src, dst, kind, payload, category)
+        waiter = self.env.event()
+        self._pending[message.msg_id] = waiter
+        if timeout is not None:
+
+            def _expire(_event: Event) -> None:
+                if waiter.triggered:
+                    return
+                self._pending.pop(message.msg_id, None)
+                waiter.fail(RequestTimeout(f"{kind} {src}->{dst} timed out after {timeout}"))
+
+            self.env.timeout(timeout).add_callback(_expire)
+        return waiter

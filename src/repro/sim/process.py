@@ -1,0 +1,116 @@
+"""Generator-based processes for the simulation kernel.
+
+A *process* wraps a Python generator that ``yield``\\ s
+:class:`~repro.sim.events.Event` objects.  Each time a yielded event is
+processed, the generator resumes with the event's value (or has the event's
+exception thrown into it).  The process itself is an event: it triggers when
+the generator returns (success, with the ``return`` value) or raises
+(failure).
+
+Processes support *interrupts*: ``process.interrupt(cause)`` throws an
+:class:`Interrupt` into the generator at the current simulation time,
+regardless of what the process is waiting on.  Stale resumptions from the
+abandoned wait target are suppressed with an epoch counter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import Event, URGENT
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process(Event):
+    """An event representing the lifetime of a generator-based activity."""
+
+    __slots__ = ("_generator", "_target", "_epoch", "name")
+
+    def __init__(
+        self,
+        env: "Environment",  # noqa: F821
+        generator: Generator[Event, Any, Any],
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"process body must be a generator, got {generator!r}")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        self._epoch = 0
+        self.name = name or getattr(generator, "__name__", "process")
+        bootstrap = Event(env)
+        bootstrap.succeed(None)
+        self._wait_on(bootstrap)
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the generator has not yet finished."""
+        return not self._triggered
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process is currently waiting on (or ``None``)."""
+        return self._target
+
+    # -- interrupt ---------------------------------------------------------
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        self._epoch += 1
+        self._target = None
+        poke = Event(self.env)
+        poke.fail(Interrupt(cause), priority=URGENT)
+        poke.defused = True
+        epoch = self._epoch
+        poke.add_callback(lambda event: self._resume(event, epoch))
+
+    # -- stepping ----------------------------------------------------------
+
+    def _wait_on(self, event: Event) -> None:
+        self._epoch += 1
+        self._target = event
+        epoch = self._epoch
+        event.add_callback(lambda ev: self._resume(ev, epoch))
+
+    def _resume(self, event: Event, epoch: int) -> None:
+        if epoch != self._epoch or self._triggered:
+            return  # stale wake-up from an abandoned wait target
+        self._target = None
+        self.env._active_process = self
+        try:
+            while True:
+                try:
+                    if event.exception is None:
+                        target = self._generator.send(event.value if event.triggered else None)
+                    else:
+                        event.defused = True
+                        target = self._generator.throw(event.exception)
+                except StopIteration as stop:
+                    self.succeed(stop.value)
+                    return
+                except BaseException as exc:  # generator crashed
+                    self.fail(exc)
+                    return
+                if not isinstance(target, Event):
+                    error = SimulationError(f"process yielded a non-event: {target!r}")
+                    self._generator.close()
+                    self.fail(error)
+                    return
+                if target.processed:
+                    event = target  # already done: step again immediately
+                    continue
+                self._wait_on(target)
+                return
+        finally:
+            self.env._active_process = None

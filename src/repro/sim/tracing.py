@@ -1,0 +1,79 @@
+"""Structured trace recording for simulations.
+
+A :class:`Tracer` accumulates timestamped records.  Benches use it to
+reconstruct the paper's timeline figures (Figs. 3–6: *when* did each server
+evaluate a proof of authorization) and tests use it to assert protocol
+message orderings (Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace entry: a category, a timestamp, and free-form details."""
+
+    time: float
+    category: str
+    details: Tuple[Tuple[str, Any], ...]
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Look up a detail by key."""
+        for name, value in self.details:
+            if name == key:
+                return value
+        return default
+
+    def as_dict(self) -> Dict[str, Any]:
+        """The details as a plain dict (plus ``time`` and ``category``)."""
+        out: Dict[str, Any] = {"time": self.time, "category": self.category}
+        out.update(self.details)
+        return out
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` objects during a simulation run."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._records: List[TraceRecord] = []
+
+    def record(self, time: float, category: str, **details: Any) -> None:
+        """Append a record (no-op when tracing is disabled)."""
+        if not self.enabled:
+            return
+        self._records.append(TraceRecord(time, category, tuple(sorted(details.items()))))
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        predicate: Optional[Callable[[TraceRecord], bool]] = None,
+    ) -> List[TraceRecord]:
+        """Records filtered by category and/or an arbitrary predicate."""
+        records = self._records
+        if category is not None:
+            records = [record for record in records if record.category == category]
+        if predicate is not None:
+            records = [record for record in records if predicate(record)]
+        return list(records)
+
+    def categories(self) -> List[str]:
+        """Distinct categories seen, in first-seen order."""
+        seen: List[str] = []
+        for record in self._records:
+            if record.category not in seen:
+                seen.append(record.category)
+        return seen
+
+    def clear(self) -> None:
+        """Drop all recorded entries."""
+        self._records.clear()

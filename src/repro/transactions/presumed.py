@@ -1,0 +1,98 @@
+"""Commit-protocol logging variants: presumed nothing / abort / commit.
+
+Section V-C: "the logging behavior of 2PC is agnostic to the actions taken
+by the voting phase ... As such, any log-based optimizations of 2PC also
+apply to 2PVC.  This includes the common variants Presumed-Abort (PrA) and
+Presumed-Commit (PrC)."
+
+A :class:`CommitVariant` captures the differences as force/ack flags, using
+the classic characterization (Mohan et al. / Samaras et al. / Chrysanthis
+et al.):
+
+* **Presumed nothing (PrN)** — the textbook Fig. 7 behaviour: every
+  decision forced everywhere, every decision acknowledged.
+* **Presumed abort (PrA)** — absence of information means abort, so abort
+  decisions are not forced (coordinator or participant) and aborts are not
+  acknowledged.
+* **Presumed commit (PrC)** — the coordinator force-writes a *collecting*
+  record before voting; commit decisions are not forced at participants and
+  commits are not acknowledged; aborts behave as in PrN.
+
+The ablation bench ``bench_ablation_logging`` measures the forced-write and
+message savings of each variant on top of 2PVC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.transactions.states import Decision
+
+
+@dataclass(frozen=True)
+class CommitVariant:
+    """Force/ack policy for the decision phase of 2PC-family protocols."""
+
+    name: str
+    #: PrC's extra forced "collecting" record at the coordinator.
+    coordinator_initial_force: bool
+    coordinator_forces_commit: bool
+    coordinator_forces_abort: bool
+    participant_forces_commit: bool
+    participant_forces_abort: bool
+    ack_commit: bool
+    ack_abort: bool
+
+    def coordinator_forces(self, decision: Decision) -> bool:
+        if decision is Decision.COMMIT:
+            return self.coordinator_forces_commit
+        return self.coordinator_forces_abort
+
+    def participant_forces(self, decision: Decision) -> bool:
+        if decision is Decision.COMMIT:
+            return self.participant_forces_commit
+        return self.participant_forces_abort
+
+    def acknowledges(self, decision: Decision) -> bool:
+        if decision is Decision.COMMIT:
+            return self.ack_commit
+        return self.ack_abort
+
+
+PRESUMED_NOTHING = CommitVariant(
+    name="presumed_nothing",
+    coordinator_initial_force=False,
+    coordinator_forces_commit=True,
+    coordinator_forces_abort=True,
+    participant_forces_commit=True,
+    participant_forces_abort=True,
+    ack_commit=True,
+    ack_abort=True,
+)
+
+PRESUMED_ABORT = CommitVariant(
+    name="presumed_abort",
+    coordinator_initial_force=False,
+    coordinator_forces_commit=True,
+    coordinator_forces_abort=False,
+    participant_forces_commit=True,
+    participant_forces_abort=False,
+    ack_commit=True,
+    ack_abort=False,
+)
+
+PRESUMED_COMMIT = CommitVariant(
+    name="presumed_commit",
+    coordinator_initial_force=True,
+    coordinator_forces_commit=True,
+    coordinator_forces_abort=True,
+    participant_forces_commit=False,
+    participant_forces_abort=True,
+    ack_commit=False,
+    ack_abort=True,
+)
+
+VARIANTS = {
+    variant.name: variant
+    for variant in (PRESUMED_NOTHING, PRESUMED_ABORT, PRESUMED_COMMIT)
+}

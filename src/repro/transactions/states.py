@@ -1,0 +1,32 @@
+"""Transaction lifecycle states and decisions."""
+
+from __future__ import annotations
+
+import enum
+
+
+class TxnStatus(enum.Enum):
+    """Where a transaction is in its lifecycle."""
+
+    ACTIVE = "active"          # executing queries
+    VALIDATING = "validating"  # in the commit-time protocol
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+    @property
+    def is_terminal(self) -> bool:
+        return self in (TxnStatus.COMMITTED, TxnStatus.ABORTED)
+
+
+class Decision(enum.Enum):
+    """Global outcome of the atomic-commit protocol."""
+
+    COMMIT = "commit"
+    ABORT = "abort"
+
+
+class Vote(enum.Enum):
+    """A participant's integrity vote in the voting phase."""
+
+    YES = "yes"
+    NO = "no"

@@ -1,0 +1,27 @@
+"""Basic Two-Phase Commit — the paper's baseline (Fig. 7).
+
+2PC is 2PVC with validation switched off: the voting phase carries only the
+YES/NO integrity vote, and the decision phase is identical.  The paper's
+Section V-B explains why plain 2PC is *insufficient* for safe transactions
+("a response of YES ... would not indicate the version of the policy that
+the participant used"); the test suite demonstrates exactly that unsafety
+(a 2PC commit that a 2PVC run would have rejected).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.context import TxnContext
+from repro.core.twopvc import CommitResult, run_2pvc
+from repro.sim.events import Event
+
+
+def run_two_phase_commit(tm: Any, ctx: TxnContext) -> Generator[Event, Any, CommitResult]:
+    """Run plain 2PC (voting on data integrity only, then the decision phase).
+
+    Message complexity 4n, log complexity 2n + 1 under presumed-nothing —
+    the reference numbers Table I's additions are measured against.
+    """
+    result = yield from run_2pvc(tm, ctx, validate=False)
+    return result

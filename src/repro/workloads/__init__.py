@@ -1,0 +1,17 @@
+"""Workloads: testbed construction, generators, update injectors, scenarios."""
+
+from repro.workloads.runner import OpenLoopRunner
+from repro.workloads.testbed import (
+    Cluster,
+    MEMBER_ROLE,
+    build_cluster,
+    member_policy_rules,
+)
+
+__all__ = [
+    "Cluster",
+    "OpenLoopRunner",
+    "MEMBER_ROLE",
+    "build_cluster",
+    "member_policy_rules",
+]

@@ -1,0 +1,149 @@
+"""Declarative fault schedules for resilience experiments.
+
+A :class:`FaultSchedule` turns a list of timed fault events into simulation
+processes: server crashes and recoveries, link partitions, and windows of
+probabilistic message loss.  Chaos tests and examples describe *what* goes
+wrong and when; the schedule does the injection.
+
+Example::
+
+    schedule = FaultSchedule(cluster)
+    schedule.crash("s2", at=10.0, recover_at=40.0)
+    schedule.partition(("tm1",), ("s3",), start=20.0, end=30.0)
+    schedule.drop_window(rate=0.2, start=50.0, end=80.0)
+    schedule.start()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+from repro.workloads.testbed import Cluster
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    server: str
+    at: float
+    recover_at: Optional[float]
+
+
+@dataclass(frozen=True)
+class PartitionFault:
+    side_a: Tuple[str, ...]
+    side_b: Tuple[str, ...]
+    start: float
+    end: Optional[float]
+
+
+@dataclass(frozen=True)
+class DropWindow:
+    rate: float
+    start: float
+    end: float
+
+
+class FaultSchedule:
+    """Collects fault declarations, then injects them as processes."""
+
+    def __init__(self, cluster: Cluster) -> None:
+        self.cluster = cluster
+        self._crashes: List[CrashFault] = []
+        self._partitions: List[PartitionFault] = []
+        self._drop_windows: List[DropWindow] = []
+        #: (time, description) pairs of injections performed, for reports.
+        self.injected: List[Tuple[float, str]] = []
+        self._started = False
+
+    # -- declarations ---------------------------------------------------------
+
+    def crash(self, server: str, at: float, recover_at: Optional[float] = None) -> "FaultSchedule":
+        """Crash a node at ``at``; optionally recover it later."""
+        if recover_at is not None and recover_at <= at:
+            raise SimulationError("recover_at must be after the crash time")
+        self._crashes.append(CrashFault(server, at, recover_at))
+        return self
+
+    def partition(
+        self,
+        side_a: Sequence[str],
+        side_b: Sequence[str],
+        start: float,
+        end: Optional[float] = None,
+    ) -> "FaultSchedule":
+        """Cut every link between the two sides during [start, end)."""
+        if end is not None and end <= start:
+            raise SimulationError("partition end must be after its start")
+        self._partitions.append(PartitionFault(tuple(side_a), tuple(side_b), start, end))
+        return self
+
+    def drop_window(self, rate: float, start: float, end: float) -> "FaultSchedule":
+        """Probabilistic message loss at ``rate`` during [start, end)."""
+        if not 0.0 <= rate < 1.0:
+            raise SimulationError("drop rate must be in [0, 1)")
+        if end <= start:
+            raise SimulationError("drop window end must be after its start")
+        self._drop_windows.append(DropWindow(rate, start, end))
+        return self
+
+    # -- injection ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Launch one injector process per declared fault."""
+        if self._started:
+            raise SimulationError("fault schedule already started")
+        self._started = True
+        env = self.cluster.env
+        for fault in self._crashes:
+            env.process(self._run_crash(fault), name=f"fault.crash[{fault.server}]")
+        for fault in self._partitions:
+            env.process(self._run_partition(fault), name="fault.partition")
+        for window in self._drop_windows:
+            env.process(self._run_drop_window(window), name="fault.drops")
+
+    def _note(self, description: str) -> None:
+        self.injected.append((self.cluster.env.now, description))
+
+    def _run_crash(self, fault: CrashFault) -> Generator[Event, None, None]:
+        env = self.cluster.env
+        delay = fault.at - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        node = self.cluster.network.node(fault.server)
+        node.crash()
+        self._note(f"crash {fault.server}")
+        if fault.recover_at is not None:
+            yield env.timeout(fault.recover_at - env.now)
+            node.recover()
+            self._note(f"recover {fault.server}")
+
+    def _run_partition(self, fault: PartitionFault) -> Generator[Event, None, None]:
+        env = self.cluster.env
+        delay = fault.start - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        for a in fault.side_a:
+            for b in fault.side_b:
+                self.cluster.network.fail_link(a, b)
+        self._note(f"partition {fault.side_a} | {fault.side_b}")
+        if fault.end is not None:
+            yield env.timeout(fault.end - env.now)
+            for a in fault.side_a:
+                for b in fault.side_b:
+                    self.cluster.network.heal_link(a, b)
+            self._note("partition healed")
+
+    def _run_drop_window(self, window: DropWindow) -> Generator[Event, None, None]:
+        env = self.cluster.env
+        delay = window.start - env.now
+        if delay > 0:
+            yield env.timeout(delay)
+        previous = self.cluster.network.drop_rate
+        self.cluster.network.drop_rate = window.rate
+        self._note(f"drop rate -> {window.rate}")
+        yield env.timeout(window.end - env.now)
+        self.cluster.network.drop_rate = previous
+        self._note(f"drop rate -> {previous}")

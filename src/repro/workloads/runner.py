@@ -1,0 +1,102 @@
+"""Open-loop workload execution across one or more transaction managers.
+
+"Multiple TMs could be invoked as the system workload increases for load
+balancing, but each transaction is handled by only one TM" (Section III-A).
+:class:`OpenLoopRunner` submits transactions at externally given arrival
+times (e.g. a Poisson process), assigning each to a TM round-robin, and
+collects every outcome — the machinery for throughput/latency-under-load
+experiments that a closed loop cannot express.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional, Sequence, Union
+
+from repro.core.approaches import ProofApproach, get_approach
+from repro.core.consistency import ConsistencyLevel
+from repro.errors import SimulationError
+from repro.metrics.stats import TransactionOutcome
+from repro.sim.events import Event
+from repro.transactions.transaction import Transaction
+from repro.workloads.testbed import Cluster
+
+
+@dataclass
+class OpenLoopRunner:
+    """Submits a timed workload and gathers outcomes.
+
+    ``assignments`` records which TM coordinated each transaction, so tests
+    can verify the balancing discipline.
+    """
+
+    cluster: Cluster
+    approach: Union[str, ProofApproach]
+    consistency: ConsistencyLevel = ConsistencyLevel.VIEW
+    outcomes: List[TransactionOutcome] = field(default_factory=list)
+    assignments: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if isinstance(self.approach, str):
+            self.approach = get_approach(self.approach)
+
+    def run(
+        self,
+        transactions: Sequence[Transaction],
+        arrival_times: Sequence[float],
+        until: Optional[float] = None,
+    ) -> List[TransactionOutcome]:
+        """Submit each transaction at its arrival time; run to completion.
+
+        Arrival times must be non-decreasing and are interpreted as
+        absolute simulation times (>= the environment's current time).
+        """
+        if len(transactions) != len(arrival_times):
+            raise SimulationError("one arrival time per transaction required")
+        if list(arrival_times) != sorted(arrival_times):
+            raise SimulationError("arrival times must be non-decreasing")
+
+        done_events: List[Event] = []
+
+        def submitter() -> Generator[Event, object, None]:
+            for index, (txn, arrival) in enumerate(zip(transactions, arrival_times)):
+                delay = arrival - self.cluster.env.now
+                if delay > 0:
+                    yield self.cluster.env.timeout(delay)
+                tm = self.cluster.tms[index % len(self.cluster.tms)]
+                self.assignments[txn.txn_id] = tm.name
+                process = tm.submit(txn, self.approach, self.consistency)
+                process.add_callback(self._collect)
+                done_events.append(process)
+
+        submit_proc = self.cluster.env.process(submitter(), name="open-loop-submitter")
+        self.cluster.env.run(until=submit_proc)
+        # Wait for every in-flight transaction to finish.
+        if done_events:
+            self.cluster.env.run(until=self.cluster.env.all_of(done_events))
+        if until is not None:
+            self.cluster.env.run(until=until)
+        return list(self.outcomes)
+
+    def _collect(self, event: Event) -> None:
+        if event.exception is None:
+            self.outcomes.append(event.value)
+
+    # -- summaries ---------------------------------------------------------------
+
+    def throughput(self) -> float:
+        """Committed transactions per simulated time unit."""
+        if not self.outcomes:
+            return 0.0
+        span = max(outcome.finished_at for outcome in self.outcomes) - min(
+            outcome.started_at for outcome in self.outcomes
+        )
+        commits = sum(1 for outcome in self.outcomes if outcome.committed)
+        return commits / span if span > 0 else float("inf")
+
+    def per_tm_counts(self) -> Dict[str, int]:
+        """How many transactions each TM coordinated."""
+        counts: Dict[str, int] = {}
+        for tm_name in self.assignments.values():
+            counts[tm_name] = counts.get(tm_name, 0) + 1
+        return counts

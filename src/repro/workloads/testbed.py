@@ -1,0 +1,304 @@
+"""One-call construction of a complete simulated cloud (the *testbed*).
+
+A :class:`Cluster` bundles the environment, network, CA registry, cloud
+servers, transaction managers, master version service, OCSP responder, and
+policy replicator, all sharing one metrics registry and tracer.  Examples,
+tests, and benches build clusters instead of wiring nodes by hand.
+
+The default application has a single administrative domain whose policy
+grants ``may_read``/``may_write`` to holders of a ``role(user, 'member')``
+credential over every item of the domain — and helpers mint exactly those
+credentials.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.cloud.config import CloudConfig
+from repro.cloud.master import MasterVersionService
+from repro.cloud.replication import PolicyReplicator, bootstrap_policies
+from repro.cloud.server import CloudServer
+from repro.core.approaches import ProofApproach, get_approach
+from repro.core.consistency import ConsistencyLevel
+from repro.db.items import ItemCatalog
+from repro.errors import SimulationError
+from repro.metrics.counters import Metrics
+from repro.metrics.stats import TransactionOutcome
+from repro.policy.admin import PolicyAdministrator
+from repro.policy.credentials import CARegistry, CertificateAuthority, Credential
+from repro.policy.ocsp import OCSPResponder
+from repro.policy.policy import Policy
+from repro.policy.rules import Atom, Rule, RuleSet, Variable
+from repro.sim.kernel import Environment
+from repro.sim.network import Network
+from repro.sim.process import Process
+from repro.sim.rng import RandomStreams
+from repro.sim.tracing import Tracer
+from repro.transactions.manager import TransactionManager
+from repro.transactions.transaction import Transaction
+
+#: Role required by the default member policy.
+MEMBER_ROLE = "member"
+
+
+def member_policy_rules(items: Iterable[str], role: str = MEMBER_ROLE) -> RuleSet:
+    """Default domain policy: members may read and write every listed item.
+
+    The ``item(i)`` facts are part of the policy itself (rules with empty
+    bodies), keeping rules range-restricted.
+    """
+    user, item = Variable("U"), Variable("I")
+    rules: List[Rule] = [
+        Rule(Atom("may_read", (user, item)), (Atom("role", (user, role)), Atom("item", (item,)))),
+        Rule(Atom("may_write", (user, item)), (Atom("role", (user, role)), Atom("item", (item,)))),
+    ]
+    for key in items:
+        rules.append(Rule(Atom("item", (key,))))
+    return RuleSet(rules)
+
+
+@dataclass
+class Cluster:
+    """A fully wired simulated cloud."""
+
+    env: Environment
+    network: Network
+    rng: RandomStreams
+    metrics: Metrics
+    tracer: Tracer
+    config: CloudConfig
+    registry: CARegistry
+    catalog: ItemCatalog
+    servers: Dict[str, CloudServer]
+    tms: List[TransactionManager]
+    master: MasterVersionService
+    replicator: PolicyReplicator
+    ocsp: OCSPResponder
+    admins: Dict[str, PolicyAdministrator]
+    #: The CA issuing user credentials in helper methods.
+    users_ca: CertificateAuthority
+
+    # -- lookups ---------------------------------------------------------------
+
+    @property
+    def tm(self) -> TransactionManager:
+        """The first (usually only) transaction manager."""
+        return self.tms[0]
+
+    def server(self, name: str) -> CloudServer:
+        return self.servers[name]
+
+    def server_names(self) -> Tuple[str, ...]:
+        return tuple(self.servers)
+
+    def admin(self, name: str) -> PolicyAdministrator:
+        return self.admins[name]
+
+    # -- credentials --------------------------------------------------------------
+
+    def issue_role_credential(
+        self,
+        user: str,
+        role: str = MEMBER_ROLE,
+        issued_at: float = 0.0,
+        expires_at: float = float("inf"),
+    ) -> Credential:
+        """Mint the credential the default member policy requires."""
+        return self.users_ca.issue(user, Atom("role", (user, role)), issued_at, expires_at)
+
+    # -- policy management ------------------------------------------------------------
+
+    def publish(
+        self,
+        admin_name: str,
+        rules: RuleSet,
+        description: str = "",
+        delays: Optional[Mapping[str, float]] = None,
+    ) -> Policy:
+        """Publish a new policy version and replicate it.
+
+        The master learns the new version immediately (it is authoritative);
+        servers learn after per-server delays — random by default, exact
+        when ``delays`` maps server names to delays (tests and benches use
+        this to engineer staleness windows).
+        """
+        policy = self.admins[admin_name].publish(rules, description)
+        self.replicator.distribute(policy, delay_override=dict(delays) if delays else None)
+        return policy
+
+    # -- running transactions ------------------------------------------------------------
+
+    def submit(
+        self,
+        txn: Transaction,
+        approach: Union[str, ProofApproach],
+        consistency: ConsistencyLevel = ConsistencyLevel.VIEW,
+        tm_index: int = 0,
+    ) -> Process:
+        """Submit a transaction to a TM; returns the driving process."""
+        if isinstance(approach, str):
+            approach = get_approach(approach)
+        return self.tms[tm_index].submit(txn, approach, consistency)
+
+    def run_transaction(
+        self,
+        txn: Transaction,
+        approach: Union[str, ProofApproach],
+        consistency: ConsistencyLevel = ConsistencyLevel.VIEW,
+        tm_index: int = 0,
+    ) -> TransactionOutcome:
+        """Submit and run the simulation until the transaction finishes."""
+        process = self.submit(txn, approach, consistency, tm_index)
+        return self.env.run(until=process)
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Advance the whole simulation."""
+        self.env.run(until=until)
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Declarative description of one cloud server for assembly."""
+
+    name: str
+    #: item → initial value.
+    items: Mapping[str, Any]
+    #: administrative domain governing the items.
+    admin: str
+
+
+@dataclass(frozen=True)
+class DomainSpec:
+    """Declarative description of one administrative domain."""
+
+    name: str
+    rules: RuleSet
+    description: str = "initial policy"
+
+
+def assemble_cluster(
+    server_specs: Sequence[ServerSpec],
+    domain_specs: Sequence[DomainSpec],
+    seed: int = 0,
+    config: Optional[CloudConfig] = None,
+    n_tms: int = 1,
+    trace: bool = True,
+) -> Cluster:
+    """Wire an arbitrary topology: servers, domains, TMs, and services.
+
+    Every domain's version-1 policy is installed on every server before
+    time zero (globally consistent start); later publications go through
+    :meth:`Cluster.publish` with random or engineered delays.
+    """
+    if not server_specs:
+        raise SimulationError("need at least one server")
+    config = config or CloudConfig()
+    rng = RandomStreams(seed)
+    env = Environment()
+    metrics = Metrics()
+    tracer = Tracer(enabled=trace)
+    network = Network(
+        env,
+        rng=rng.stream("network"),
+        latency=config.latency,
+        tracer=tracer,
+        message_hook=metrics,
+    )
+    registry = CARegistry()
+    users_ca = registry.add(CertificateAuthority("users-ca"))
+    catalog = ItemCatalog()
+
+    servers: Dict[str, CloudServer] = {}
+    for spec in server_specs:
+        server = CloudServer(
+            spec.name,
+            config,
+            registry,
+            metrics,
+            tracer,
+            default_admin=spec.admin,
+        )
+        server.host_items(dict(spec.items), admin=spec.admin)
+        catalog.assign_all(spec.items, spec.name)
+        network.register(server)
+        servers[spec.name] = server
+
+    master = MasterVersionService(config.master_name)
+    network.register(master)
+    replicator = PolicyReplicator(
+        "replicator", rng.stream("replication"), config.replication_delay
+    )
+    network.register(replicator)
+
+    admins: Dict[str, PolicyAdministrator] = {}
+    for domain in domain_specs:
+        administrator = PolicyAdministrator(domain.name, domain.rules, domain.description)
+        master.track(administrator)
+        bootstrap_policies(replicator, [administrator], servers.values(), follow=False)
+        admins[domain.name] = administrator
+
+    ocsp = OCSPResponder(config.ocsp_responder, registry)
+    network.register(ocsp)
+
+    tms = []
+    for index in range(1, n_tms + 1):
+        tm = TransactionManager(f"tm{index}", config, catalog, metrics, tracer)
+        network.register(tm)
+        tms.append(tm)
+
+    return Cluster(
+        env=env,
+        network=network,
+        rng=rng,
+        metrics=metrics,
+        tracer=tracer,
+        config=config,
+        registry=registry,
+        catalog=catalog,
+        servers=servers,
+        tms=tms,
+        master=master,
+        replicator=replicator,
+        ocsp=ocsp,
+        admins=admins,
+        users_ca=users_ca,
+    )
+
+
+def build_cluster(
+    n_servers: int = 3,
+    items_per_server: int = 4,
+    seed: int = 0,
+    config: Optional[CloudConfig] = None,
+    admin_name: str = "app",
+    n_tms: int = 1,
+    initial_value: float = 100.0,
+    trace: bool = True,
+) -> Cluster:
+    """Construct the canonical single-domain testbed.
+
+    Servers are named ``s1..sN`` and host items ``s<i>/x<j>`` with value
+    ``initial_value``.  One administrative domain (``admin_name``) governs
+    every item with the member policy (version 1), installed consistently on
+    every server before time zero.
+    """
+    if n_servers < 1:
+        raise SimulationError("need at least one server")
+    server_specs = []
+    all_items: List[str] = []
+    for index in range(1, n_servers + 1):
+        name = f"s{index}"
+        items = {f"{name}/x{j}": initial_value for j in range(1, items_per_server + 1)}
+        server_specs.append(ServerSpec(name, items, admin_name))
+        all_items.extend(items)
+    domain = DomainSpec(admin_name, member_policy_rules(all_items), "initial member policy")
+    return assemble_cluster(
+        server_specs,
+        [domain],
+        seed=seed,
+        config=config,
+        n_tms=n_tms,
+        trace=trace,
+    )

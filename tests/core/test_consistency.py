@@ -1,0 +1,127 @@
+"""Unit tests for the φ/ψ consistency predicates (Definitions 1-3, 7)."""
+
+import pytest
+
+from repro.core.consistency import (
+    ConsistencyLevel,
+    is_consistent,
+    phi_consistent,
+    psi_consistent,
+    stale_servers,
+    versions_by_admin,
+    view_instance,
+)
+from repro.policy.policy import Operation, PolicyId
+from repro.policy.proofs import ProofOfAuthorization
+
+
+def make_proof(server="s1", admin="app", version=1, at=1.0, granted=True, query="q1"):
+    return ProofOfAuthorization(
+        query_id=query,
+        user="bob",
+        operation=Operation.READ,
+        items=("x",),
+        server=server,
+        policy_id=PolicyId(admin),
+        policy_version=version,
+        evaluated_at=at,
+        credential_ids=(),
+        granted=granted,
+        reason="ok" if granted else "nope",
+        assessments=(),
+        derivations=(),
+    )
+
+
+class TestPhi:
+    def test_empty_view_is_phi_consistent(self):
+        assert phi_consistent([])
+
+    def test_same_versions_consistent(self):
+        proofs = [make_proof("s1", version=3), make_proof("s2", version=3)]
+        assert phi_consistent(proofs)
+
+    def test_differing_versions_inconsistent(self):
+        proofs = [make_proof("s1", version=3), make_proof("s2", version=4)]
+        assert not phi_consistent(proofs)
+
+    def test_domains_are_independent(self):
+        proofs = [
+            make_proof("s1", admin="app", version=3),
+            make_proof("s2", admin="hr", version=9),
+        ]
+        assert phi_consistent(proofs)
+
+    def test_inconsistency_in_one_domain_suffices(self):
+        proofs = [
+            make_proof("s1", admin="app", version=3),
+            make_proof("s2", admin="app", version=3),
+            make_proof("s3", admin="hr", version=1),
+            make_proof("s4", admin="hr", version=2),
+        ]
+        assert not phi_consistent(proofs)
+
+
+class TestPsi:
+    def test_all_latest_is_psi_consistent(self):
+        proofs = [make_proof(version=4), make_proof("s2", version=4)]
+        assert psi_consistent(proofs, {PolicyId("app"): 4})
+
+    def test_behind_latest_is_inconsistent(self):
+        proofs = [make_proof(version=3)]
+        assert not psi_consistent(proofs, {PolicyId("app"): 4})
+
+    def test_unknown_domain_fails_closed(self):
+        proofs = [make_proof(admin="mystery", version=1)]
+        assert not psi_consistent(proofs, {})
+
+    def test_psi_implies_phi(self):
+        proofs = [make_proof("s1", version=4), make_proof("s2", version=4)]
+        latest = {PolicyId("app"): 4}
+        assert psi_consistent(proofs, latest)
+        assert phi_consistent(proofs)
+
+    def test_phi_does_not_imply_psi(self):
+        """The paper's weakness of view consistency: agreed but stale."""
+        proofs = [make_proof("s1", version=3), make_proof("s2", version=3)]
+        assert phi_consistent(proofs)
+        assert not psi_consistent(proofs, {PolicyId("app"): 4})
+
+
+class TestDispatch:
+    def test_view_level_uses_phi(self):
+        proofs = [make_proof(version=1), make_proof("s2", version=1)]
+        assert is_consistent(proofs, ConsistencyLevel.VIEW)
+
+    def test_global_level_uses_psi(self):
+        proofs = [make_proof(version=1)]
+        assert not is_consistent(proofs, ConsistencyLevel.GLOBAL, {PolicyId("app"): 2})
+
+
+class TestViewInstance:
+    def test_prefix_by_time(self):
+        proofs = [make_proof(at=1.0), make_proof(at=5.0), make_proof(at=9.0)]
+        assert len(view_instance(proofs, 5.0)) == 2
+        assert len(view_instance(proofs, 0.5)) == 0
+        assert len(view_instance(proofs, 100.0)) == 3
+
+    def test_boundary_is_inclusive(self):
+        proofs = [make_proof(at=5.0)]
+        assert len(view_instance(proofs, 5.0)) == 1
+
+
+class TestHelpers:
+    def test_versions_by_admin(self):
+        proofs = [
+            make_proof(admin="app", version=1),
+            make_proof("s2", admin="app", version=2),
+            make_proof("s3", admin="hr", version=7),
+        ]
+        observed = versions_by_admin(proofs)
+        assert observed[PolicyId("app")] == {1, 2}
+        assert observed[PolicyId("hr")] == {7}
+
+    def test_stale_servers(self):
+        seen = {PolicyId("app"): {"s1": 1, "s2": 2}}
+        assert stale_servers(seen, {PolicyId("app"): 2}) == ["s1"]
+        assert stale_servers(seen, {PolicyId("app"): 1}) == []

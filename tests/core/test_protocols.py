@@ -1,0 +1,199 @@
+"""Protocol-level tests for 2PV and 2PVC driven through the full cluster."""
+
+import pytest
+
+from repro.cloud.config import CloudConfig, MasterFetchMode
+from repro.core.consistency import ConsistencyLevel
+from repro.db.constraints import NonNegative, UpperBound
+from repro.errors import AbortReason
+from repro.sim.network import FixedLatency
+from repro.transactions.states import Decision
+from repro.transactions.transaction import Query, Transaction
+from repro.workloads.testbed import build_cluster, member_policy_rules
+from repro.workloads.updates import benign_successor, restricting_successor
+
+VIEW, GLOBAL = ConsistencyLevel.VIEW, ConsistencyLevel.GLOBAL
+
+
+def make_cluster(seed=1, **config_kwargs):
+    config = CloudConfig(latency=FixedLatency(1.0), **config_kwargs)
+    return build_cluster(n_servers=3, seed=seed, config=config)
+
+
+def three_server_txn(credentials, txn_id="t"):
+    return Transaction(
+        txn_id,
+        "alice",
+        queries=(
+            Query.read(f"{txn_id}-q1", ["s1/x1"]),
+            Query.write(f"{txn_id}-q2", deltas={"s2/x1": -5}),
+            Query.read(f"{txn_id}-q3", ["s3/x1"]),
+        ),
+        credentials=tuple(credentials),
+    )
+
+
+def all_items(cluster):
+    keys = []
+    for server in cluster.server_names():
+        keys.extend(cluster.catalog.items_on(server))
+    return keys
+
+
+class TestVotingPhase:
+    def test_integrity_violation_aborts(self):
+        cluster = make_cluster()
+        cluster.server("s2").constraints.add(NonNegative("s2/x1"))
+        credential = cluster.issue_role_credential("alice")
+        txn = Transaction(
+            "t-bad",
+            "alice",
+            queries=(Query.write("q1", deltas={"s2/x1": -1000}),),
+            credentials=(credential,),
+        )
+        outcome = cluster.run_transaction(txn, "deferred", VIEW)
+        assert not outcome.committed
+        assert outcome.abort_reason is AbortReason.INTEGRITY_VIOLATION
+        assert cluster.server("s2").storage.committed_value("s2/x1") == 100.0
+
+    def test_integrity_pass_commits_and_applies(self):
+        cluster = make_cluster()
+        cluster.server("s2").constraints.add(NonNegative("s2/x1"))
+        credential = cluster.issue_role_credential("alice")
+        outcome = cluster.run_transaction(
+            three_server_txn([credential]), "deferred", VIEW
+        )
+        assert outcome.committed
+        assert cluster.server("s2").storage.committed_value("s2/x1") == 95.0
+
+    def test_proof_failure_aborts_2pvc(self):
+        cluster = make_cluster()
+        # No credential: proofs evaluate FALSE at commit time.
+        outcome = cluster.run_transaction(three_server_txn([]), "deferred", VIEW)
+        assert not outcome.committed
+        assert outcome.abort_reason is AbortReason.PROOF_FAILED
+
+    def test_locks_released_after_commit(self):
+        cluster = make_cluster()
+        credential = cluster.issue_role_credential("alice")
+        cluster.run_transaction(three_server_txn([credential]), "deferred", VIEW)
+        for server in cluster.servers.values():
+            assert server.locks is None or server.locks.holders("s2/x1") == ()
+
+    def test_locks_released_after_abort(self):
+        cluster = make_cluster()
+        outcome = cluster.run_transaction(three_server_txn([]), "deferred", VIEW)
+        assert not outcome.committed
+        assert cluster.server("s2").storage.active_transactions() == ()
+
+
+class TestValidationLoop:
+    def test_view_update_round_repairs_staleness(self):
+        cluster = make_cluster()
+        credential = cluster.issue_role_credential("alice")
+        cluster.publish(
+            "app",
+            benign_successor(cluster.admin("app").current),
+            delays={"s1": 0.1, "s2": 9999.0, "s3": 9999.0},
+        )
+        cluster.run(until=2.0)
+        outcome = cluster.run_transaction(
+            three_server_txn([credential]), "deferred", VIEW
+        )
+        assert outcome.committed
+        assert outcome.voting_rounds == 2
+        # The stale participants were pushed to v2 by the Update round.
+        assert cluster.server("s2").policies.versions()[list(
+            cluster.server("s2").policies.versions()
+        )[0]] == 2
+
+    def test_view_consistency_commits_on_agreed_stale_version(self):
+        """φ allows committing on an old-but-agreed version (paper's caveat)."""
+        cluster = make_cluster()
+        credential = cluster.issue_role_credential("alice")
+        # v2 exists at the master but reaches no server during the txn.
+        cluster.publish(
+            "app",
+            benign_successor(cluster.admin("app").current),
+            delays={"s1": 9999.0, "s2": 9999.0, "s3": 9999.0},
+        )
+        cluster.run(until=1.0)
+        outcome = cluster.run_transaction(
+            three_server_txn([credential]), "deferred", VIEW
+        )
+        assert outcome.committed
+        assert outcome.voting_rounds == 1  # all agree on v1
+
+    def test_global_consistency_repairs_to_master_version(self):
+        cluster = make_cluster()
+        credential = cluster.issue_role_credential("alice")
+        cluster.publish(
+            "app",
+            benign_successor(cluster.admin("app").current),
+            delays={"s1": 9999.0, "s2": 9999.0, "s3": 9999.0},
+        )
+        cluster.run(until=1.0)
+        outcome = cluster.run_transaction(
+            three_server_txn([credential]), "deferred", GLOBAL
+        )
+        assert outcome.committed
+        assert outcome.voting_rounds == 2  # master forces everyone to v2
+
+    def test_restricting_update_flips_decision(self):
+        """A stale server grants under v1; the Update to v2 must flip it."""
+        cluster = make_cluster()
+        credential = cluster.issue_role_credential("alice")  # member role
+        restricted = restricting_successor(cluster.admin("app").current, "senior")
+        cluster.publish(
+            "app", restricted, delays={"s1": 0.1, "s2": 9999.0, "s3": 9999.0}
+        )
+        cluster.run(until=2.0)
+        outcome = cluster.run_transaction(
+            three_server_txn([credential]), "deferred", VIEW
+        )
+        assert not outcome.committed
+        assert outcome.abort_reason is AbortReason.PROOF_FAILED
+
+    def test_master_once_mode_bounds_rounds(self):
+        cluster = make_cluster(master_fetch_mode=MasterFetchMode.ONCE)
+        credential = cluster.issue_role_credential("alice")
+        cluster.publish(
+            "app",
+            benign_successor(cluster.admin("app").current),
+            delays={"s1": 9999.0, "s2": 9999.0, "s3": 9999.0},
+        )
+        cluster.run(until=1.0)
+        outcome = cluster.run_transaction(
+            three_server_txn([credential]), "deferred", GLOBAL
+        )
+        assert outcome.committed
+        assert outcome.voting_rounds == 2
+
+
+class TestDecisionPhase:
+    def test_coordinator_logs_decision_before_end(self):
+        cluster = make_cluster()
+        credential = cluster.issue_role_credential("alice")
+        cluster.run_transaction(three_server_txn([credential], "t-log"), "deferred", VIEW)
+        records = [record.record_type.value for record in cluster.tm.wal.records_for("t-log")]
+        assert records == ["commit", "end"]
+
+    def test_participants_force_prepared_and_decision(self):
+        cluster = make_cluster()
+        credential = cluster.issue_role_credential("alice")
+        cluster.run_transaction(three_server_txn([credential], "t-f"), "deferred", VIEW)
+        for name in cluster.server_names():
+            wal = cluster.server(name).wal
+            kinds = [record.record_type.value for record in wal.records_for("t-f")]
+            assert kinds == ["prepared", "commit"]
+            assert all(record.forced for record in wal.records_for("t-f"))
+
+    def test_prepared_record_carries_votes_and_versions(self):
+        """Section V-C: the (vi, pi) tuples are forcibly logged."""
+        cluster = make_cluster()
+        credential = cluster.issue_role_credential("alice")
+        cluster.run_transaction(three_server_txn([credential], "t-v"), "deferred", VIEW)
+        record = cluster.server("s1").wal.records_for("t-v")[0]
+        assert record.get("vote") == "yes"
+        assert record.get("truth") is True
+        assert record.get("versions") == {"app": 1}

@@ -1,0 +1,78 @@
+"""Unit tests for integrity constraints."""
+
+import pytest
+
+from repro.db.constraints import (
+    ConstraintSet,
+    NonNegative,
+    PredicateConstraint,
+    SumInvariant,
+    UpperBound,
+)
+
+
+def reader_over(values):
+    return lambda key: values[key]
+
+
+class TestBuiltins:
+    def test_non_negative(self):
+        constraint = NonNegative("balance")
+        assert constraint.holds(reader_over({"balance": 0}))
+        assert constraint.holds(reader_over({"balance": 5}))
+        assert not constraint.holds(reader_over({"balance": -1}))
+
+    def test_upper_bound(self):
+        constraint = UpperBound("stock", 100)
+        assert constraint.holds(reader_over({"stock": 100}))
+        assert not constraint.holds(reader_over({"stock": 101}))
+
+    def test_sum_invariant(self):
+        constraint = SumInvariant(["a", "b"], total=50)
+        assert constraint.holds(reader_over({"a": 20, "b": 30}))
+        assert not constraint.holds(reader_over({"a": 20, "b": 31}))
+
+    def test_predicate_constraint(self):
+        constraint = PredicateConstraint("ordered", ["lo", "hi"], lambda lo, hi: lo <= hi)
+        assert constraint.holds(reader_over({"lo": 1, "hi": 2}))
+        assert not constraint.holds(reader_over({"lo": 3, "hi": 2}))
+
+    def test_default_names_are_descriptive(self):
+        assert "balance" in NonNegative("balance").name
+        assert "stock" in UpperBound("stock", 10).name
+
+
+class TestConstraintSet:
+    def test_all_hold(self):
+        constraints = ConstraintSet([NonNegative("a"), UpperBound("a", 10)])
+        ok, violated = constraints.check(reader_over({"a": 5}))
+        assert ok and violated == ()
+
+    def test_reports_all_violations(self):
+        constraints = ConstraintSet([NonNegative("a"), UpperBound("a", 10)])
+        ok, violated = constraints.check(reader_over({"a": -5}))
+        assert not ok
+        assert violated == ("non_negative(a)",)
+        ok, violated = constraints.check(reader_over({"a": 50}))
+        assert violated == ("upper_bound(a,10)",)
+
+    def test_touched_filter_skips_unrelated(self):
+        constraints = ConstraintSet([NonNegative("a"), NonNegative("b")])
+        # b is violated but untouched, so it is not (re)checked.
+        ok, violated = constraints.check(reader_over({"a": 1, "b": -1}), touched={"a"})
+        assert ok
+
+    def test_touched_filter_catches_related(self):
+        constraints = ConstraintSet([SumInvariant(["a", "b"], 10)])
+        ok, violated = constraints.check(reader_over({"a": 5, "b": 6}), touched={"a"})
+        assert not ok
+
+    def test_empty_set_always_holds(self):
+        ok, violated = ConstraintSet().check(reader_over({}))
+        assert ok and violated == ()
+
+    def test_add_and_iterate(self):
+        constraints = ConstraintSet()
+        constraints.add(NonNegative("a"))
+        assert len(constraints) == 1
+        assert [c.name for c in constraints] == ["non_negative(a)"]

@@ -1,0 +1,106 @@
+"""Unit tests for the storage engine and item catalog."""
+
+import pytest
+
+from repro.db.items import ItemCatalog
+from repro.db.storage import StorageEngine
+from repro.errors import StorageError
+
+
+@pytest.fixture
+def engine():
+    storage = StorageEngine("s1")
+    storage.install_many({"a": 10, "b": 20})
+    return storage
+
+
+class TestCatalog:
+    def test_assign_and_lookup(self):
+        catalog = ItemCatalog()
+        catalog.assign("x", "s1")
+        assert catalog.server_for("x") == "s1"
+
+    def test_reassignment_rejected(self):
+        catalog = ItemCatalog({"x": "s1"})
+        with pytest.raises(StorageError):
+            catalog.assign("x", "s2")
+
+    def test_idempotent_same_assignment_ok(self):
+        catalog = ItemCatalog({"x": "s1"})
+        catalog.assign("x", "s1")
+
+    def test_missing_placement_raises(self):
+        with pytest.raises(StorageError):
+            ItemCatalog().server_for("ghost")
+
+    def test_items_on_and_servers(self):
+        catalog = ItemCatalog({"x": "s1", "y": "s2", "z": "s1"})
+        assert set(catalog.items_on("s1")) == {"x", "z"}
+        assert set(catalog.servers()) == {"s1", "s2"}
+        assert len(catalog) == 3
+        assert "x" in catalog
+
+
+class TestCommittedState:
+    def test_install_and_read(self, engine):
+        assert engine.committed_value("a") == 10
+
+    def test_unknown_key_raises(self, engine):
+        with pytest.raises(StorageError):
+            engine.committed_value("ghost")
+
+    def test_snapshot(self, engine):
+        assert engine.snapshot() == {"a": 10, "b": 20}
+
+    def test_version_provenance(self, engine):
+        engine.write("t1", "a", 99)
+        engine.apply("t1", committed_at=5.0)
+        version = engine.committed_version("a")
+        assert version.committed_by == "t1"
+        assert version.committed_at == 5.0
+
+
+class TestWorkspaces:
+    def test_read_your_own_writes(self, engine):
+        engine.write("t1", "a", 111)
+        assert engine.read("t1", "a") == 111
+        assert engine.committed_value("a") == 10  # not externalized
+
+    def test_isolation_between_transactions(self, engine):
+        engine.write("t1", "a", 111)
+        assert engine.read("t2", "a") == 10
+
+    def test_write_to_unknown_key_rejected(self, engine):
+        with pytest.raises(StorageError):
+            engine.write("t1", "ghost", 1)
+
+    def test_reads_are_tracked(self, engine):
+        engine.read("t1", "a")
+        assert "a" in engine.workspace("t1").reads
+
+    def test_apply_makes_writes_durable(self, engine):
+        engine.write("t1", "a", 111)
+        applied = engine.apply("t1", committed_at=1.0)
+        assert applied == {"a": 111}
+        assert engine.committed_value("a") == 111
+        assert not engine.has_workspace("t1")
+
+    def test_discard_rolls_back(self, engine):
+        engine.write("t1", "a", 111)
+        engine.discard("t1")
+        assert engine.committed_value("a") == 10
+        assert not engine.has_workspace("t1")
+
+    def test_apply_unknown_txn_is_noop(self, engine):
+        assert engine.apply("ghost", committed_at=0.0) == {}
+
+    def test_effective_reader_overlays_writes(self, engine):
+        engine.write("t1", "a", -5)
+        reader = engine.effective_reader("t1")
+        assert reader("a") == -5
+        assert reader("b") == 20
+
+    def test_active_transactions_listing(self, engine):
+        engine.write("t1", "a", 1)
+        engine.read("t2", "b")
+        assert set(engine.active_transactions()) == {"t1", "t2"}

@@ -1,0 +1,81 @@
+"""The paper's motivating example (Section II / Fig. 1), end to end.
+
+Bob reads the customers DB (granted, and issued a read capability), is then
+reassigned (OpRegion credential revoked) while the tightened policy P′
+reaches only the customers DB.  The paper's point: a system without
+commit-time validation authorizes Bob's second access unsafely.
+"""
+
+import pytest
+
+from repro.core.consistency import ConsistencyLevel
+from repro.errors import AbortReason
+from repro.workloads.scenarios import (
+    CUSTOMERS_DB,
+    INVENTORY_DB,
+    audit_committed_revocations,
+    build_bob_scenario,
+    run_bob_with,
+)
+
+VIEW, GLOBAL = ConsistencyLevel.VIEW, ConsistencyLevel.GLOBAL
+
+
+class TestHappyPath:
+    def test_without_incident_every_approach_commits(self):
+        for approach in ("deferred", "punctual", "incremental", "continuous"):
+            scenario = build_bob_scenario(seed=2)
+            outcome = scenario.cluster.run_transaction(
+                scenario.transaction(f"bob-{approach}"), approach, VIEW
+            )
+            assert outcome.committed, approach
+
+    def test_capability_is_issued_on_granted_read(self):
+        scenario = build_bob_scenario(seed=2)
+        outcome = scenario.cluster.run_transaction(
+            scenario.transaction("bob-cap"), "punctual", VIEW
+        )
+        assert outcome.committed
+        ctx = scenario.cluster.tm.finished["bob-cap"]
+        predicates = {credential.atom.predicate for credential in ctx.extra_credentials}
+        assert "read_capability" in predicates
+
+
+class TestIncident:
+    def test_incremental_commits_unsafely(self):
+        """No commit-time re-validation: the revocation goes unnoticed."""
+        outcome, scenario = run_bob_with("incremental", VIEW, seed=2)
+        assert outcome.committed
+        offenders = audit_committed_revocations(scenario, outcome.txn_id)
+        assert offenders, "expected the revoked OpRegion credential in the proofs"
+
+    @pytest.mark.parametrize("approach", ["deferred", "punctual", "continuous"])
+    def test_revalidating_approaches_abort(self, approach):
+        outcome, scenario = run_bob_with(approach, VIEW, seed=2)
+        assert not outcome.committed
+        assert outcome.abort_reason is AbortReason.PROOF_FAILED
+
+    def test_stale_inventory_grants_via_capability_at_execution(self):
+        """The unsafe grant happens at execution time, exactly as in Fig. 1:
+        the inventory DB (still on P) honours Bob's read capability."""
+        outcome, scenario = run_bob_with("incremental", VIEW, seed=2)
+        ctx = scenario.cluster.tm.finished[outcome.txn_id]
+        second_proof = ctx.latest_proofs[f"{outcome.txn_id}-q2"]
+        assert second_proof.server == INVENTORY_DB
+        assert second_proof.granted
+        # The proof leaned on the capability, not the (revoked) region chain.
+        used = second_proof.credentials_used()
+        assert any("authority" in cred_id for cred_id in used)
+
+    def test_policy_versions_diverge_during_incident(self):
+        outcome, scenario = run_bob_with("incremental", VIEW, seed=2)
+        versions = {
+            name: list(scenario.cluster.server(name).policies.versions().values())[0]
+            for name in (CUSTOMERS_DB, INVENTORY_DB)
+        }
+        assert versions[CUSTOMERS_DB] == 2
+        assert versions[INVENTORY_DB] == 1
+
+    def test_global_consistency_also_saves_deferred(self):
+        outcome, _scenario = run_bob_with("deferred", GLOBAL, seed=2)
+        assert not outcome.committed

@@ -1,0 +1,213 @@
+"""Concurrent transactions: isolation, conflicts, deadlocks, conservation."""
+
+import pytest
+
+from repro.cloud.config import CloudConfig
+from repro.core.consistency import ConsistencyLevel
+from repro.db.constraints import NonNegative
+from repro.errors import AbortReason
+from repro.sim.network import FixedLatency, UniformLatency
+from repro.transactions.transaction import Query, Transaction
+from repro.workloads.testbed import build_cluster
+
+VIEW = ConsistencyLevel.VIEW
+
+
+def run_all(cluster, processes):
+    cluster.env.run(until=cluster.env.all_of(processes))
+    return list(cluster.tm.outcomes)
+
+
+class TestConflictSerialization:
+    def test_writers_to_same_item_serialize(self):
+        cluster = build_cluster(
+            n_servers=1, seed=31, config=CloudConfig(latency=FixedLatency(1.0))
+        )
+        credential = cluster.issue_role_credential("alice")
+        processes = [
+            cluster.submit(
+                Transaction(
+                    f"t{index}",
+                    "alice",
+                    (Query.write(f"t{index}-q", deltas={"s1/x1": -10}),),
+                    (credential,),
+                ),
+                "punctual",
+                VIEW,
+            )
+            for index in range(4)
+        ]
+        outcomes = run_all(cluster, processes)
+        assert all(outcome.committed for outcome in outcomes)
+        # All four decrements applied exactly once: strict 2PL serialized them.
+        assert cluster.server("s1").storage.committed_value("s1/x1") == 60.0
+
+    def test_lost_update_prevented_with_read_modify_write(self):
+        cluster = build_cluster(
+            n_servers=1, seed=32, config=CloudConfig(latency=UniformLatency(0.5, 1.5))
+        )
+        credential = cluster.issue_role_credential("alice")
+        processes = [
+            cluster.submit(
+                Transaction(
+                    f"rmw{index}",
+                    "alice",
+                    (
+                        Query.read(f"rmw{index}-r", ["s1/x1"]),
+                        Query.write(f"rmw{index}-w", deltas={"s1/x1": 7}),
+                    ),
+                    (credential,),
+                ),
+                "punctual",
+                VIEW,
+            )
+            for index in range(3)
+        ]
+        outcomes = run_all(cluster, processes)
+        committed = [outcome for outcome in outcomes if outcome.committed]
+        aborted = [outcome for outcome in outcomes if not outcome.committed]
+        # Deadlock victims (S->X upgrades) may abort; committed deltas all land.
+        expected = 100.0 + 7 * len(committed)
+        assert cluster.server("s1").storage.committed_value("s1/x1") == expected
+        for outcome in aborted:
+            assert outcome.abort_reason is AbortReason.DEADLOCK
+
+
+class TestDeadlocks:
+    def _cross_server_pair(self, credential):
+        forward = Transaction(
+            "fwd",
+            "alice",
+            (
+                Query.write("fwd-q1", deltas={"s1/x1": -1}),
+                Query.write("fwd-q2", deltas={"s2/x1": -1}),
+            ),
+            (credential,),
+        )
+        backward = Transaction(
+            "bwd",
+            "alice",
+            (
+                Query.write("bwd-q1", deltas={"s2/x1": -1}),
+                Query.write("bwd-q2", deltas={"s1/x1": -1}),
+            ),
+            (credential,),
+        )
+        return forward, backward
+
+    def test_same_server_deadlock_picks_a_victim(self):
+        """Local wait-for-graph detection: one aborts, one commits."""
+        cluster = build_cluster(
+            n_servers=1, seed=33, config=CloudConfig(latency=FixedLatency(1.0))
+        )
+        credential = cluster.issue_role_credential("alice")
+        first = Transaction(
+            "d1",
+            "alice",
+            (
+                Query.write("d1-q1", deltas={"s1/x1": -1}),
+                Query.write("d1-q2", deltas={"s1/x2": -1}),
+            ),
+            (credential,),
+        )
+        second = Transaction(
+            "d2",
+            "alice",
+            (
+                Query.write("d2-q1", deltas={"s1/x2": -1}),
+                Query.write("d2-q2", deltas={"s1/x1": -1}),
+            ),
+            (credential,),
+        )
+        outcomes = run_all(
+            cluster,
+            [cluster.submit(first, "punctual", VIEW), cluster.submit(second, "punctual", VIEW)],
+        )
+        committed = [outcome for outcome in outcomes if outcome.committed]
+        aborted = [outcome for outcome in outcomes if not outcome.committed]
+        assert len(committed) == 1 and len(aborted) == 1
+        assert aborted[0].abort_reason is AbortReason.DEADLOCK
+        # Exactly the survivor's two decrements landed.
+        total = (
+            cluster.server("s1").storage.committed_value("s1/x1")
+            + cluster.server("s1").storage.committed_value("s1/x2")
+        )
+        assert total == 198.0
+
+    def test_cross_server_deadlock_resolved_by_timeout(self):
+        """Per-server wait-for graphs cannot see a distributed cycle; the
+        TM's request timeout is the resolution mechanism (both abort)."""
+        cluster = build_cluster(
+            n_servers=2,
+            seed=33,
+            config=CloudConfig(latency=FixedLatency(1.0), request_timeout=25.0),
+        )
+        credential = cluster.issue_role_credential("alice")
+        forward, backward = self._cross_server_pair(credential)
+        outcomes = run_all(
+            cluster,
+            [cluster.submit(forward, "punctual", VIEW), cluster.submit(backward, "punctual", VIEW)],
+        )
+        assert all(not outcome.committed for outcome in outcomes)
+        assert all(
+            outcome.abort_reason is AbortReason.PARTICIPANT_UNREACHABLE
+            for outcome in outcomes
+        )
+        # Nothing applied, nothing leaked.
+        assert cluster.server("s1").storage.committed_value("s1/x1") == 100.0
+        assert cluster.server("s2").storage.committed_value("s2/x1") == 100.0
+
+    def test_cross_server_deadlock_leaves_no_residue(self):
+        cluster = build_cluster(
+            n_servers=2,
+            seed=34,
+            config=CloudConfig(latency=FixedLatency(1.0), request_timeout=25.0),
+        )
+        credential = cluster.issue_role_credential("alice")
+        forward, backward = self._cross_server_pair(credential)
+        run_all(
+            cluster,
+            [cluster.submit(forward, "punctual", VIEW), cluster.submit(backward, "punctual", VIEW)],
+        )
+        cluster.run()  # drain stragglers
+        for name in ("s1", "s2"):
+            server = cluster.server(name)
+            assert server.storage.active_transactions() == ()
+            assert server.locks.holders(f"{name}/x1") == ()
+            assert server.locks.waiting(f"{name}/x1") == ()
+
+
+class TestMoneyConservation:
+    def test_transfers_conserve_total_under_concurrency(self):
+        """Classic bank-transfer check across servers with constraints."""
+        cluster = build_cluster(
+            n_servers=3, seed=35, config=CloudConfig(latency=UniformLatency(0.5, 1.5))
+        )
+        for name in cluster.server_names():
+            for item in cluster.catalog.items_on(name):
+                cluster.server(name).constraints.add(NonNegative(item))
+        credential = cluster.issue_role_credential("alice")
+
+        transfers = []
+        pairs = [("s1/x1", "s2/x1"), ("s2/x2", "s3/x1"), ("s3/x2", "s1/x2")]
+        for index, (src, dst) in enumerate(pairs):
+            transfers.append(
+                Transaction(
+                    f"xfer{index}",
+                    "alice",
+                    (
+                        Query.write(f"xfer{index}-out", deltas={src: -30}),
+                        Query.write(f"xfer{index}-in", deltas={dst: 30}),
+                    ),
+                    (credential,),
+                )
+            )
+        processes = [cluster.submit(txn, "punctual", VIEW) for txn in transfers]
+        outcomes = run_all(cluster, processes)
+        total = sum(
+            cluster.server(name).storage.committed_value(item)
+            for name in cluster.server_names()
+            for item in cluster.catalog.items_on(name)
+        )
+        assert total == 100.0 * len(cluster.server_names()) * 4
+        assert all(outcome.committed for outcome in outcomes)

@@ -1,0 +1,169 @@
+"""Transactions spanning multiple administrative domains.
+
+The paper keys every consistency predicate on "all policies belonging to
+the same administrator A" — domains are independent.  These tests build a
+two-domain cloud (sales + hr) and verify that version movement in one
+domain never triggers consistency machinery for the other.
+"""
+
+import pytest
+
+from repro.cloud.config import CloudConfig
+from repro.core.consistency import ConsistencyLevel
+from repro.errors import AbortReason
+from repro.policy.policy import PolicyId
+from repro.sim.network import FixedLatency
+from repro.transactions.transaction import Query, Transaction
+from repro.workloads.testbed import DomainSpec, ServerSpec, assemble_cluster, member_policy_rules
+from repro.workloads.updates import benign_successor
+
+VIEW, GLOBAL = ConsistencyLevel.VIEW, ConsistencyLevel.GLOBAL
+
+SALES_ITEMS = ("sales/orders", "sales/quota")
+HR_ITEMS = ("hr/payroll", "hr/reviews")
+
+
+def make_cluster(seed=91):
+    servers = [
+        ServerSpec("sales-1", {SALES_ITEMS[0]: 10.0}, "sales"),
+        ServerSpec("sales-2", {SALES_ITEMS[1]: 20.0}, "sales"),
+        ServerSpec("hr-1", {HR_ITEMS[0]: 30.0}, "hr"),
+        ServerSpec("hr-2", {HR_ITEMS[1]: 40.0}, "hr"),
+    ]
+    domains = [
+        DomainSpec("sales", member_policy_rules(SALES_ITEMS)),
+        DomainSpec("hr", member_policy_rules(HR_ITEMS)),
+    ]
+    return assemble_cluster(
+        servers, domains, seed=seed, config=CloudConfig(latency=FixedLatency(1.0))
+    )
+
+
+def cross_domain_txn(credential, txn_id="t-x"):
+    return Transaction(
+        txn_id,
+        "alice",
+        queries=(
+            Query.read(f"{txn_id}-q1", [SALES_ITEMS[0]]),
+            Query.read(f"{txn_id}-q2", [HR_ITEMS[0]]),
+            Query.read(f"{txn_id}-q3", [SALES_ITEMS[1]]),
+            Query.read(f"{txn_id}-q4", [HR_ITEMS[1]]),
+        ),
+        credentials=(credential,),
+    )
+
+
+class TestCrossDomain:
+    def test_cross_domain_transaction_commits(self):
+        cluster = make_cluster()
+        credential = cluster.issue_role_credential("alice")
+        for approach in ("deferred", "punctual", "incremental", "continuous"):
+            outcome = cluster.run_transaction(
+                cross_domain_txn(credential, f"t-{approach}"), approach, VIEW
+            )
+            assert outcome.committed, approach
+
+    def test_view_records_versions_per_domain(self):
+        cluster = make_cluster()
+        credential = cluster.issue_role_credential("alice")
+        cluster.run_transaction(cross_domain_txn(credential, "t-v"), "punctual", VIEW)
+        ctx = cluster.tm.finished["t-v"]
+        assert set(ctx.versions_seen) == {PolicyId("sales"), PolicyId("hr")}
+        assert set(ctx.versions_seen[PolicyId("sales")]) == {"sales-1", "sales-2"}
+
+    def test_churn_in_one_domain_does_not_abort_incremental_in_other(self):
+        """An hr update between two *sales* queries must not trip the sales
+        view-instance check; only an intra-domain mismatch aborts."""
+        cluster = make_cluster()
+        credential = cluster.issue_role_credential("alice")
+        # hr-1 learns hr v2 before its query; sales stays at v1 throughout.
+        cluster.publish(
+            "hr",
+            benign_successor(cluster.admin("hr").current),
+            delays={"hr-1": 0.1, "hr-2": 0.1, "sales-1": 99999.0, "sales-2": 99999.0},
+        )
+        cluster.run(until=2.0)
+        txn = Transaction(
+            "t-sales-only",
+            "alice",
+            queries=(
+                Query.read("q1", [SALES_ITEMS[0]]),
+                Query.read("q2", [SALES_ITEMS[1]]),
+            ),
+            credentials=(credential,),
+        )
+        outcome = cluster.run_transaction(txn, "incremental", VIEW)
+        assert outcome.committed
+
+    def test_intra_domain_mismatch_still_aborts_incremental(self):
+        cluster = make_cluster()
+        credential = cluster.issue_role_credential("alice")
+        cluster.publish(
+            "sales",
+            benign_successor(cluster.admin("sales").current),
+            delays={"sales-1": 99999.0, "sales-2": 0.1, "hr-1": 99999.0, "hr-2": 99999.0},
+        )
+        cluster.run(until=2.0)
+        txn = Transaction(
+            "t-mismatch",
+            "alice",
+            queries=(
+                Query.read("q1", [SALES_ITEMS[0]]),  # sales-1: v1
+                Query.read("q2", [SALES_ITEMS[1]]),  # sales-2: v2 -> mismatch
+            ),
+            credentials=(credential,),
+        )
+        outcome = cluster.run_transaction(txn, "incremental", VIEW)
+        assert not outcome.committed
+        assert outcome.abort_reason is AbortReason.POLICY_INCONSISTENCY
+
+    def test_2pvc_updates_only_the_stale_domain(self):
+        """Deferred cross-domain commit with one stale sales participant:
+        the Update round must push only the sales policy."""
+        cluster = make_cluster()
+        credential = cluster.issue_role_credential("alice")
+        cluster.publish(
+            "sales",
+            benign_successor(cluster.admin("sales").current),
+            delays={"sales-1": 0.1, "sales-2": 99999.0, "hr-1": 99999.0, "hr-2": 99999.0},
+        )
+        cluster.run(until=2.0)
+        outcome = cluster.run_transaction(
+            cross_domain_txn(credential, "t-upd"), "deferred", VIEW
+        )
+        assert outcome.committed
+        assert outcome.voting_rounds == 2
+        # sales-2 repaired to v2; hr versions untouched at v1.
+        assert cluster.server("sales-2").policies.version_of(PolicyId("sales")) == 2
+        assert cluster.server("hr-1").policies.version_of(PolicyId("hr")) == 1
+
+    def test_global_consistency_per_domain_masters(self):
+        cluster = make_cluster()
+        credential = cluster.issue_role_credential("alice")
+        # Master ahead in hr only.
+        cluster.publish(
+            "hr",
+            benign_successor(cluster.admin("hr").current),
+            delays={name: 99999.0 for name in cluster.server_names()},
+        )
+        cluster.run(until=1.0)
+        outcome = cluster.run_transaction(
+            cross_domain_txn(credential, "t-g"), "deferred", GLOBAL
+        )
+        assert outcome.committed
+        assert outcome.voting_rounds == 2
+        # Only the hr participants were pushed to v2.
+        assert cluster.server("hr-1").policies.version_of(PolicyId("hr")) == 2
+        assert cluster.server("sales-1").policies.version_of(PolicyId("sales")) == 1
+
+    def test_final_view_is_phi_consistent_per_domain(self):
+        from repro.core.consistency import phi_consistent
+
+        cluster = make_cluster()
+        credential = cluster.issue_role_credential("alice")
+        outcome = cluster.run_transaction(
+            cross_domain_txn(credential, "t-phi"), "punctual", VIEW
+        )
+        assert outcome.committed
+        ctx = cluster.tm.finished["t-phi"]
+        assert phi_consistent(ctx.final_proofs())

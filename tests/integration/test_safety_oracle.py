@@ -1,0 +1,177 @@
+"""Safety oracles over finished transactions.
+
+Two claims of the paper checked end to end:
+
+* Section V-B: plain 2PC is *insufficient* — "there exists a situation
+  where a participant says YES, when another participant has a fresher
+  policy that would have contradicted the decision of the first
+  participant."  We construct exactly that situation and show 2PC commits
+  it while 2PVC rejects it.
+* Definition 4: every transaction 2PVC commits is trusted (the recorded
+  final view passes ``check_trusted``).
+"""
+
+import pytest
+
+from repro.cloud.config import CloudConfig
+from repro.core.consistency import ConsistencyLevel
+from repro.core.trusted import check_safe, check_trusted
+from repro.policy.policy import PolicyId
+from repro.sim.network import FixedLatency
+from repro.transactions.transaction import Query, Transaction
+from repro.workloads.testbed import build_cluster
+from repro.workloads.updates import restricting_successor
+
+VIEW, GLOBAL = ConsistencyLevel.VIEW, ConsistencyLevel.GLOBAL
+
+
+def make_cluster(seed=41):
+    return build_cluster(
+        n_servers=2, seed=seed, config=CloudConfig(latency=FixedLatency(1.0))
+    )
+
+
+def two_server_txn(credential, txn_id="t"):
+    return Transaction(
+        txn_id,
+        "alice",
+        queries=(
+            Query.read(f"{txn_id}-q1", ["s1/x1"]),
+            Query.read(f"{txn_id}-q2", ["s2/x1"]),
+        ),
+        credentials=(credential,),
+    )
+
+
+def install_contradiction(cluster):
+    """Tighten the policy so only s1 knows: s1 would say FALSE, s2 TRUE."""
+    cluster.publish(
+        "app",
+        restricting_successor(cluster.admin("app").current, "senior"),
+        delays={"s1": 0.1, "s2": 99999.0},
+    )
+    cluster.run(until=1.0)
+
+
+class TestTwoPCIsInsufficient:
+    def test_incremental_style_2pc_commit_is_untrusted(self):
+        """Run with execution-time proofs + plain 2PC at commit (the
+        Incremental machinery) in the contradiction scenario: the stale
+        participant's TRUE survives to the commit because 2PC never
+        exchanges policy versions."""
+        cluster = make_cluster()
+        credential = cluster.issue_role_credential("alice")
+        # Contradiction arrives AFTER both queries executed (both proofs
+        # evaluated TRUE under v1), but before the commit protocol would
+        # have re-validated.
+        txn = two_server_txn(credential, "t-2pc")
+
+        def late_update():
+            yield cluster.env.timeout(8.0)
+            cluster.publish(
+                "app",
+                restricting_successor(cluster.admin("app").current, "senior"),
+                delays={"s1": 0.1, "s2": 99999.0},
+            )
+
+        cluster.env.process(late_update())
+        outcome = cluster.run_transaction(txn, "incremental", VIEW)
+        assert outcome.committed  # 2PC asked nothing about policies
+
+        # The oracle shows the commit was NOT ψ-trusted: the latest policy
+        # (v2) would have denied alice.
+        ctx = cluster.tm.finished["t-2pc"]
+        latest = {PolicyId("app"): cluster.master.latest_version(PolicyId("app"))}
+        report = check_trusted(
+            ctx.final_proofs(), GLOBAL, ctx.started_at, ctx.ready_at, latest
+        )
+        assert not report.trusted
+
+    def test_2pvc_rejects_the_same_situation(self):
+        cluster = make_cluster()
+        credential = cluster.issue_role_credential("alice")
+        txn = two_server_txn(credential, "t-2pvc")
+
+        # Publish after both execution-time evaluations (t=2.5 and t=6.0)
+        # but early enough that s1 installs v2 before its commit-time
+        # re-evaluation.
+        def late_update():
+            yield cluster.env.timeout(6.5)
+            cluster.publish(
+                "app",
+                restricting_successor(cluster.admin("app").current, "senior"),
+                delays={"s1": 0.1, "s2": 99999.0},
+            )
+
+        cluster.env.process(late_update())
+        outcome = cluster.run_transaction(txn, "punctual", VIEW)
+        assert not outcome.committed  # 2PVC re-validated and saw v2's denial
+
+
+class TestCommittedTransactionsAreTrusted:
+    @pytest.mark.parametrize("approach", ["deferred", "punctual", "continuous"])
+    def test_view_commits_pass_phi_trust(self, approach):
+        cluster = make_cluster(seed=42)
+        credential = cluster.issue_role_credential("alice")
+        txn = two_server_txn(credential, f"t-{approach}")
+        outcome = cluster.run_transaction(txn, approach, VIEW)
+        assert outcome.committed
+        ctx = cluster.tm.finished[txn.txn_id]
+        report = check_trusted(
+            ctx.final_proofs(), VIEW, ctx.started_at, ctx.finished_at
+        )
+        assert report.trusted, report.failures
+
+    @pytest.mark.parametrize("approach", ["deferred", "punctual", "continuous"])
+    def test_global_commits_pass_psi_trust(self, approach):
+        cluster = make_cluster(seed=43)
+        credential = cluster.issue_role_credential("alice")
+        txn = two_server_txn(credential, f"t-{approach}")
+        outcome = cluster.run_transaction(txn, approach, GLOBAL)
+        assert outcome.committed
+        ctx = cluster.tm.finished[txn.txn_id]
+        latest = {PolicyId("app"): cluster.master.latest_version(PolicyId("app"))}
+        report = check_trusted(
+            ctx.final_proofs(), GLOBAL, ctx.started_at, ctx.finished_at, latest
+        )
+        assert report.trusted, report.failures
+
+    def test_commit_after_update_round_is_trusted_on_new_version(self):
+        """After 2PVC repairs staleness, the final view agrees on v2."""
+        from repro.workloads.updates import benign_successor
+
+        cluster = make_cluster(seed=44)
+        credential = cluster.issue_role_credential("alice")
+        cluster.publish(
+            "app",
+            benign_successor(cluster.admin("app").current),
+            delays={"s1": 0.1, "s2": 99999.0},
+        )
+        cluster.run(until=1.0)
+        txn = two_server_txn(credential, "t-repair")
+        outcome = cluster.run_transaction(txn, "deferred", VIEW)
+        assert outcome.committed
+        ctx = cluster.tm.finished["t-repair"]
+        versions = {proof.policy_version for proof in ctx.final_proofs()}
+        assert versions == {2}
+
+    def test_safe_requires_integrity_too(self):
+        from repro.db.constraints import NonNegative
+
+        cluster = make_cluster(seed=45)
+        cluster.server("s1").constraints.add(NonNegative("s1/x1"))
+        credential = cluster.issue_role_credential("alice")
+        txn = Transaction(
+            "t-unsafe",
+            "alice",
+            (Query.write("q", deltas={"s1/x1": -500}),),
+            (credential,),
+        )
+        outcome = cluster.run_transaction(txn, "punctual", VIEW)
+        assert not outcome.committed
+        ctx = cluster.tm.finished["t-unsafe"]
+        safe, report = check_safe(
+            ctx.final_proofs(), VIEW, ctx.started_at, ctx.finished_at, integrity_ok=False
+        )
+        assert not safe
+        assert report.trusted  # proofs were fine; the data constraint failed

@@ -1,0 +1,97 @@
+"""Regression: validation reports evaluate under one pinned policy snapshot.
+
+Found by the soak test: a policy replication landing *between two proof
+evaluations of the same Prepare-to-Validate/Commit reply* made the reply
+claim version v2 while one of its proofs had used v1 — letting a
+φ-inconsistent view commit.  The fix pins the policy per domain at the
+start of `_validation_report`; this test engineers the exact interleaving
+and asserts the pinning.
+"""
+
+import pytest
+
+from repro.cloud.config import CloudConfig
+from repro.core.consistency import ConsistencyLevel, phi_consistent
+from repro.sim.network import FixedLatency
+from repro.transactions.transaction import Query, Transaction
+from repro.workloads.testbed import build_cluster
+from repro.workloads.updates import benign_successor
+
+VIEW = ConsistencyLevel.VIEW
+
+
+def test_policy_install_mid_report_does_not_split_versions():
+    """One server, two queries of the same transaction.  The commit-time
+    report evaluates both proofs back to back (0.5 time units each); a new
+    policy version is installed into the server's store between the two
+    evaluations.  Both proofs must still carry the same (pinned) version,
+    and the committed view must be φ-consistent."""
+    cluster = build_cluster(
+        n_servers=1, seed=91, config=CloudConfig(latency=FixedLatency(1.0))
+    )
+    credential = cluster.issue_role_credential("alice")
+    server = cluster.server("s1")
+
+    txn = Transaction(
+        "t-pin",
+        "alice",
+        queries=(
+            Query.read("q1", ["s1/x1"]),
+            Query.read("q2", ["s1/x2"]),
+        ),
+        credentials=(credential,),
+    )
+
+    # Execution: q1 done ~t=3, q2 done ~t=6; prepare arrives ~t=7; the two
+    # commit-time evaluations run ~t=7.5 and ~t=8.0.  Drop v2 directly into
+    # the server's store between them.
+    def injector():
+        yield cluster.env.timeout(7.75)
+        successor = cluster.admin("app").publish(
+            benign_successor(cluster.admin("app").current), "mid-report install"
+        )
+        server.policies.apply(successor)
+
+    cluster.env.process(injector())
+    outcome = cluster.run_transaction(txn, "deferred", VIEW)
+    assert outcome.committed
+
+    ctx = cluster.tm.finished["t-pin"]
+    final = ctx.final_proofs()
+    versions = {proof.policy_version for proof in final}
+    assert len(versions) == 1, f"split versions in one report: {versions}"
+    assert phi_consistent(final)
+
+
+def test_report_version_claim_matches_its_proofs():
+    """The version a reply claims must equal the version its proofs used,
+    even when an install lands mid-report."""
+    cluster = build_cluster(
+        n_servers=1, seed=92, config=CloudConfig(latency=FixedLatency(1.0))
+    )
+    credential = cluster.issue_role_credential("alice")
+    server = cluster.server("s1")
+    txn = Transaction(
+        "t-claim",
+        "alice",
+        queries=(Query.read("q1", ["s1/x1"]), Query.read("q2", ["s1/x2"])),
+        credentials=(credential,),
+    )
+
+    def injector():
+        yield cluster.env.timeout(7.75)
+        successor = cluster.admin("app").publish(
+            benign_successor(cluster.admin("app").current), "mid-report install"
+        )
+        server.policies.apply(successor)
+
+    cluster.env.process(injector())
+    outcome = cluster.run_transaction(txn, "deferred", VIEW)
+    assert outcome.committed
+    ctx = cluster.tm.finished["t-claim"]
+    # The recorded versions_seen (from the reply) must match every proof.
+    from repro.policy.policy import PolicyId
+
+    claimed = ctx.versions_seen[PolicyId("app")]["s1"]
+    for proof in ctx.final_proofs():
+        assert proof.policy_version == claimed

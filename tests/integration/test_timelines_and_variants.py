@@ -1,0 +1,143 @@
+"""Timeline reconstruction (Figs. 3-6) and logging-variant behaviour."""
+
+import pytest
+
+from repro.cloud.config import CloudConfig
+from repro.core.consistency import ConsistencyLevel
+from repro.metrics.timeline import extract_timeline
+from repro.sim.network import FixedLatency
+from repro.transactions.presumed import PRESUMED_ABORT, PRESUMED_COMMIT, PRESUMED_NOTHING
+from repro.transactions.transaction import Query, Transaction
+from repro.workloads.testbed import build_cluster
+
+VIEW = ConsistencyLevel.VIEW
+
+
+def make_cluster(variant=PRESUMED_NOTHING, seed=51):
+    config = CloudConfig(latency=FixedLatency(1.0), commit_variant=variant)
+    return build_cluster(n_servers=3, seed=seed, config=config)
+
+
+def three_reads(credential, txn_id):
+    return Transaction(
+        txn_id,
+        "alice",
+        queries=(
+            Query.read(f"{txn_id}-q1", ["s1/x1"]),
+            Query.read(f"{txn_id}-q2", ["s2/x1"]),
+            Query.read(f"{txn_id}-q3", ["s3/x1"]),
+        ),
+        credentials=(credential,),
+    )
+
+
+class TestTimelines:
+    """The shapes of Figs. 3-6: who evaluates proofs, and when."""
+
+    def run_and_extract(self, approach, txn_id):
+        cluster = make_cluster()
+        credential = cluster.issue_role_credential("alice")
+        outcome = cluster.run_transaction(three_reads(credential, txn_id), approach, VIEW)
+        assert outcome.committed
+        return extract_timeline(cluster.tracer, txn_id)
+
+    def test_deferred_evaluations_cluster_at_commit(self):
+        """Fig. 3: all stars sit after ω(T) (commit-time only)."""
+        timeline = self.run_and_extract("deferred", "fig3")
+        assert len(timeline.events) == 3
+        assert all(event.time >= timeline.ready for event in timeline.events)
+        assert all(event.phase == "commit" for event in timeline.events)
+
+    def test_punctual_evaluates_during_and_at_commit(self):
+        """Fig. 4: one star per query during execution, plus commit stars."""
+        timeline = self.run_and_extract("punctual", "fig4")
+        execution = [event for event in timeline.events if event.phase == "execution"]
+        commit = [event for event in timeline.events if event.phase == "commit"]
+        assert len(execution) == 3 and len(commit) == 3
+        assert all(event.time <= timeline.ready for event in execution)
+
+    def test_incremental_evaluates_only_during_execution(self):
+        """Fig. 5: stars only during execution, none at commit."""
+        timeline = self.run_and_extract("incremental", "fig5")
+        assert len(timeline.events) == 3
+        assert all(event.phase == "execution" for event in timeline.events)
+
+    def test_continuous_reevaluates_previous_servers(self):
+        """Fig. 6: server s1 is evaluated at every one of the three 2PVs."""
+        timeline = self.run_and_extract("continuous", "fig6")
+        lanes = timeline.lanes()
+        assert len(lanes["s1"]) == 3
+        assert len(lanes["s2"]) == 2
+        assert len(lanes["s3"]) == 1
+
+    def test_render_produces_one_lane_per_server(self):
+        timeline = self.run_and_extract("punctual", "fig-render")
+        rendered = timeline.render(width=40)
+        assert rendered.count("|") == 2 * 3  # three lanes
+        assert "*" in rendered
+
+
+class TestLoggingVariants:
+    """PrA / PrC apply to 2PVC unchanged (Section V-C)."""
+
+    def run_commit(self, variant, seed=52):
+        cluster = make_cluster(variant, seed)
+        credential = cluster.issue_role_credential("alice")
+        outcome = cluster.run_transaction(
+            three_reads(credential, "t-var"), "deferred", VIEW
+        )
+        return cluster, outcome
+
+    def run_abort(self, variant, seed=53):
+        cluster = make_cluster(variant, seed)
+        txn = Transaction(
+            "t-var",
+            "alice",
+            queries=(
+                Query.read("t-var-q1", ["s1/x1"]),
+                Query.read("t-var-q2", ["s2/x1"]),
+                Query.read("t-var-q3", ["s3/x1"]),
+            ),
+        )  # no credentials: proofs fail at commit, 2PVC aborts
+        outcome = cluster.run_transaction(txn, "deferred", VIEW)
+        return cluster, outcome
+
+    def total_forced(self, cluster, txn_id="t-var"):
+        forced = sum(
+            1
+            for name in cluster.server_names()
+            for record in cluster.server(name).wal.records_for(txn_id)
+            if record.forced
+        )
+        forced += sum(1 for record in cluster.tm.wal.records_for(txn_id) if record.forced)
+        return forced
+
+    def test_presumed_nothing_commit_costs_2n_plus_1(self):
+        cluster, outcome = self.run_commit(PRESUMED_NOTHING)
+        assert outcome.committed
+        assert self.total_forced(cluster) == 7  # 2n + 1, n = 3
+
+    def test_presumed_abort_saves_on_aborts(self):
+        cluster_prn, outcome_prn = self.run_abort(PRESUMED_NOTHING)
+        cluster_pra, outcome_pra = self.run_abort(PRESUMED_ABORT)
+        assert not outcome_prn.committed and not outcome_pra.committed
+        assert self.total_forced(cluster_pra) < self.total_forced(cluster_prn)
+        # PrA also drops the abort acknowledgements.
+        assert outcome_pra.protocol_messages < outcome_prn.protocol_messages
+
+    def test_presumed_commit_saves_commit_acks(self):
+        cluster_prn, outcome_prn = self.run_commit(PRESUMED_NOTHING)
+        cluster_prc, outcome_prc = self.run_commit(PRESUMED_COMMIT, seed=52)
+        assert outcome_prn.committed and outcome_prc.committed
+        # n fewer ack messages on the commit path.
+        assert (
+            outcome_prc.protocol_messages
+            == outcome_prn.protocol_messages - 3
+        )
+
+    def test_presumed_commit_initial_record_logged(self):
+        cluster, outcome = self.run_commit(PRESUMED_COMMIT)
+        assert outcome.committed
+        records = cluster.tm.wal.records_for("t-var")
+        assert records[0].record_type.value == "begin"
+        assert records[0].forced

@@ -1,0 +1,149 @@
+"""Unit tests for credentials, CAs, and the registry."""
+
+import pytest
+
+from repro.errors import CredentialError
+from repro.policy.credentials import (
+    CARegistry,
+    CertificateAuthority,
+    Credential,
+    NEVER,
+)
+from repro.policy.rules import Atom, Variable
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority("test-ca")
+
+
+@pytest.fixture
+def registry(ca):
+    return CARegistry([ca])
+
+
+def issue(ca, subject="bob", issued_at=0.0, expires_at=NEVER, predicate="role"):
+    return ca.issue(subject, Atom(predicate, (subject, "member")), issued_at, expires_at)
+
+
+class TestIssue:
+    def test_issue_produces_verifiable_credential(self, ca, registry):
+        credential = issue(ca)
+        assert registry.verify_signature(credential)
+
+    def test_ids_are_unique(self, ca):
+        a, b = issue(ca), issue(ca)
+        assert a.cred_id != b.cred_id
+
+    def test_explicit_duplicate_id_rejected(self, ca):
+        issue_kwargs = dict(issued_at=0.0, cred_id="fixed")
+        ca.issue("bob", Atom("p", ("bob",)), **issue_kwargs)
+        with pytest.raises(CredentialError):
+            ca.issue("bob", Atom("p", ("bob",)), **issue_kwargs)
+
+    def test_non_ground_atom_rejected(self, ca):
+        with pytest.raises(CredentialError):
+            ca.issue("bob", Atom("p", (Variable("X"),)), issued_at=0.0)
+
+    def test_expiry_before_issue_rejected(self, ca):
+        with pytest.raises(CredentialError):
+            ca.issue("bob", Atom("p", ("bob",)), issued_at=10.0, expires_at=5.0)
+
+
+class TestSyntacticValidity:
+    def test_valid_credential(self, ca, registry):
+        credential = issue(ca, issued_at=1.0, expires_at=100.0)
+        ok, reason = registry.syntactically_valid(credential, now=50.0)
+        assert ok and reason == "ok"
+
+    def test_not_yet_valid(self, ca, registry):
+        credential = issue(ca, issued_at=10.0)
+        ok, reason = registry.syntactically_valid(credential, now=5.0)
+        assert not ok and reason == "not_yet_valid"
+
+    def test_expired(self, ca, registry):
+        credential = issue(ca, issued_at=0.0, expires_at=10.0)
+        ok, reason = registry.syntactically_valid(credential, now=10.0)
+        assert not ok and reason == "expired"
+
+    def test_tampered_subject_fails_signature(self, ca, registry):
+        credential = issue(ca)
+        forged = credential.tampered(subject="mallory")
+        ok, reason = registry.syntactically_valid(forged, now=1.0)
+        assert not ok and reason == "bad_signature"
+
+    def test_tampered_atom_fails_signature(self, ca, registry):
+        credential = issue(ca)
+        forged = credential.tampered(atom=Atom("role", ("mallory", "admin")))
+        assert not registry.verify_signature(forged)
+
+    def test_tampered_expiry_fails_signature(self, ca, registry):
+        credential = issue(ca, expires_at=10.0)
+        forged = credential.tampered(expires_at=1_000_000.0)
+        assert not registry.verify_signature(forged)
+
+    def test_unknown_issuer_fails(self, registry):
+        rogue = CertificateAuthority("rogue")  # not in the registry
+        credential = rogue.issue("bob", Atom("p", ("bob",)), issued_at=0.0)
+        ok, reason = registry.syntactically_valid(credential, now=1.0)
+        assert not ok and reason == "bad_signature"
+
+    def test_malformed_object_fails(self, registry):
+        ok, reason = registry.syntactically_valid("not a credential", now=0.0)
+        assert not ok and reason == "malformed"
+
+
+class TestRevocation:
+    def test_only_issuer_can_revoke(self, ca):
+        other = CertificateAuthority("other")
+        credential = issue(ca)
+        with pytest.raises(CredentialError):
+            other.revoke(credential.cred_id, at_time=5.0)
+
+    def test_semantic_validity_before_revocation(self, ca, registry):
+        credential = issue(ca)
+        ca.revoke(credential.cred_id, at_time=10.0)
+        ok, _ = registry.semantically_valid(credential, relied_at=0.0, now=5.0)
+        assert ok
+
+    def test_semantic_validity_after_revocation(self, ca, registry):
+        credential = issue(ca)
+        ca.revoke(credential.cred_id, at_time=10.0)
+        ok, reason = registry.semantically_valid(credential, relied_at=0.0, now=10.0)
+        assert not ok and reason == "revoked"
+
+    def test_revocation_is_permanent(self, ca):
+        credential = issue(ca)
+        ca.revoke(credential.cred_id, at_time=10.0)
+        assert not ca.status_clean_over(credential.cred_id, 20.0, 30.0)
+
+    def test_earliest_revocation_wins(self, ca):
+        credential = issue(ca)
+        ca.revoke(credential.cred_id, at_time=10.0)
+        ca.revoke(credential.cred_id, at_time=50.0)  # later revoke is ignored
+        assert ca.revocation(credential.cred_id).revoked_at == 10.0
+
+    def test_earlier_revocation_replaces_later(self, ca):
+        credential = issue(ca)
+        ca.revoke(credential.cred_id, at_time=50.0)
+        ca.revoke(credential.cred_id, at_time=10.0)
+        assert ca.revocation(credential.cred_id).revoked_at == 10.0
+
+    def test_unknown_issuer_semantic_check_fails_closed(self, ca):
+        registry = CARegistry()  # empty: issuer unknown
+        credential = issue(ca)
+        ok, reason = registry.semantically_valid(credential, relied_at=0.0, now=1.0)
+        assert not ok and reason == "unknown_issuer"
+
+
+class TestRegistry:
+    def test_duplicate_ca_rejected(self, ca):
+        registry = CARegistry([ca])
+        with pytest.raises(CredentialError):
+            registry.add(CertificateAuthority("test-ca"))
+
+    def test_names_listing(self, registry):
+        assert registry.names() == ("test-ca",)
+
+    def test_get_missing_returns_none(self, registry):
+        assert registry.get("nope") is None

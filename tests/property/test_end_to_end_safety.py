@@ -1,0 +1,132 @@
+"""End-to-end safety property: commits are trusted, whatever the schedule.
+
+Hypothesis generates adversarial environments — policy updates (benign or
+restricting) at arbitrary times with arbitrary per-server replication
+delays, plus credential revocations — and we assert Definition 4 over
+every transaction the re-validating approaches commit:
+
+* every proof in the final view was granted,
+* all proofs were evaluated within [α(T), ω'(T)] (submission → decision),
+* the final view is φ-consistent (one policy version per domain).
+
+This is the paper's core guarantee ("2PVC ensures that a transaction is
+safe") exercised against randomized schedules rather than hand-picked
+scenarios.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.cloud.config import CloudConfig
+from repro.core.consistency import ConsistencyLevel
+from repro.core.trusted import check_trusted
+from repro.sim.network import FixedLatency
+from repro.transactions.transaction import Query, Transaction
+from repro.workloads.testbed import build_cluster
+from repro.workloads.updates import (
+    benign_successor,
+    restricting_successor,
+    revoke_at,
+)
+
+APPROACHES = ("deferred", "punctual", "continuous")
+
+
+@st.composite
+def schedules(draw):
+    """A random adversarial schedule of updates and revocations."""
+    updates = []
+    for _ in range(draw(st.integers(min_value=0, max_value=3))):
+        updates.append(
+            (
+                draw(st.floats(min_value=0.5, max_value=40.0)),  # publish time
+                draw(st.booleans()),  # restricting?
+                [draw(st.floats(min_value=0.1, max_value=30.0)) for _ in range(3)],
+            )
+        )
+    revoke_time = (
+        draw(st.floats(min_value=1.0, max_value=40.0))
+        if draw(st.booleans())
+        else None
+    )
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    approach = draw(st.sampled_from(APPROACHES))
+    return updates, revoke_time, seed, approach
+
+
+def run_scenario(updates, revoke_time, seed, approach):
+    cluster = build_cluster(
+        n_servers=3, seed=seed, config=CloudConfig(latency=FixedLatency(1.0))
+    )
+    credential = cluster.issue_role_credential("alice")
+
+    def churner():
+        last = 0.0
+        for publish_at, restricting, delays in sorted(updates):
+            gap = publish_at - last
+            if gap > 0:
+                yield cluster.env.timeout(gap)
+            last = publish_at
+            current = cluster.admin("app").current
+            rules = (
+                restricting_successor(current, "senior")
+                if restricting
+                else benign_successor(current)
+            )
+            cluster.publish(
+                "app",
+                rules,
+                delays={
+                    name: delay
+                    for name, delay in zip(cluster.server_names(), delays)
+                },
+            )
+
+    cluster.env.process(churner())
+    if revoke_time is not None:
+        revoke_at(cluster, credential.issuer, credential.cred_id, revoke_time)
+
+    txn = Transaction(
+        "t-prop",
+        "alice",
+        queries=(
+            Query.read("q1", ["s1/x1"]),
+            Query.write("q2", deltas={"s2/x1": -1}),
+            Query.read("q3", ["s3/x1"]),
+        ),
+        credentials=(credential,),
+    )
+    outcome = cluster.run_transaction(txn, approach, ConsistencyLevel.VIEW)
+    return cluster, outcome
+
+
+class TestCommitsAreTrusted:
+    @given(schedules())
+    @settings(max_examples=60, deadline=None)
+    def test_definition4_holds_for_every_commit(self, schedule):
+        updates, revoke_time, seed, approach = schedule
+        cluster, outcome = run_scenario(updates, revoke_time, seed, approach)
+        if not outcome.committed:
+            return  # aborting is always safe
+        ctx = cluster.tm.finished[outcome.txn_id]
+        report = check_trusted(
+            ctx.final_proofs(),
+            ConsistencyLevel.VIEW,
+            alpha=ctx.started_at,
+            omega=ctx.finished_at,
+        )
+        assert report.trusted, (report.failures, updates, revoke_time, seed, approach)
+
+    @given(schedules())
+    @settings(max_examples=40, deadline=None)
+    def test_data_state_consistent_after_any_outcome(self, schedule):
+        """Atomicity: either the write landed everywhere or nowhere, and no
+        workspace or lock leaks regardless of schedule."""
+        updates, revoke_time, seed, approach = schedule
+        cluster, outcome = run_scenario(updates, revoke_time, seed, approach)
+        cluster.run()  # drain stragglers
+        value = cluster.server("s2").storage.committed_value("s2/x1")
+        assert value == (99.0 if outcome.committed else 100.0)
+        for name in cluster.server_names():
+            server = cluster.server(name)
+            assert server.storage.active_transactions() == ()

@@ -1,0 +1,119 @@
+"""Property-based tests for eval(f, t) — the proof-evaluation semantics."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.policy.credentials import CARegistry, CertificateAuthority
+from repro.policy.policy import Operation, Policy, PolicyId
+from repro.policy.proofs import evaluate_proof
+from repro.policy.rules import Atom, Rule, RuleSet, Variable
+
+U, I = Variable("U"), Variable("I")
+ITEMS = ("inv", "cust")
+
+
+def member_policy(version=1):
+    rules = [
+        Rule(Atom("may_read", (U, I)), (Atom("role", (U, "member")), Atom("item", (I,)))),
+        Rule(Atom("may_write", (U, I)), (Atom("role", (U, "admin")), Atom("item", (I,)))),
+    ]
+    rules += [Rule(Atom("item", (item,))) for item in ITEMS]
+    return Policy(PolicyId("app"), version, RuleSet(rules))
+
+
+@st.composite
+def credential_worlds(draw):
+    """A CA, a set of issued credentials with windows, and revocations."""
+    ca = CertificateAuthority("ca")
+    registry = CARegistry([ca])
+    credentials = []
+    count = draw(st.integers(min_value=0, max_value=5))
+    for index in range(count):
+        role = draw(st.sampled_from(["member", "admin", "guest"]))
+        issued = draw(st.floats(min_value=0.0, max_value=10.0))
+        lifetime = draw(st.floats(min_value=0.5, max_value=50.0))
+        credential = ca.issue(
+            "bob", Atom("role", ("bob", role)), issued, issued + lifetime
+        )
+        if draw(st.booleans()):
+            ca.revoke(credential.cred_id, draw(st.floats(min_value=0.0, max_value=60.0)))
+        credentials.append(credential)
+    now = draw(st.floats(min_value=0.0, max_value=60.0))
+    return ca, registry, credentials, now
+
+
+def run_eval(registry, credentials, now, operation=Operation.READ):
+    return evaluate_proof(
+        policy=member_policy(),
+        query_id="q",
+        user="bob",
+        operation=operation,
+        items=["inv"],
+        credentials=credentials,
+        server="s",
+        now=now,
+        registry=registry,
+    )
+
+
+class TestEvalProperties:
+    @given(credential_worlds())
+    @settings(max_examples=150)
+    def test_grant_implies_valid_supporting_credentials(self, world):
+        """Every credential a granted proof actually *used* passed both
+        validity checks at evaluation time."""
+        ca, registry, credentials, now = world
+        proof = run_eval(registry, credentials, now)
+        if not proof.granted:
+            return
+        assessment_by_id = {a.cred_id: a for a in proof.assessments}
+        for cred_id in proof.credentials_used():
+            assert assessment_by_id[cred_id].ok
+
+    @given(credential_worlds())
+    @settings(max_examples=150)
+    def test_grant_iff_some_live_member_credential(self, world):
+        """The member policy grants reads exactly when some unexpired,
+        unrevoked member credential exists at ``now``."""
+        ca, registry, credentials, now = world
+        proof = run_eval(registry, credentials, now)
+        live_member = any(
+            credential.atom.args[1] == "member"
+            and credential.issued_at <= now < credential.expires_at
+            and ca.status_clean_over(credential.cred_id, credential.issued_at, now)
+            for credential in credentials
+        )
+        assert proof.granted == live_member
+
+    @given(credential_worlds())
+    @settings(max_examples=100)
+    def test_monotone_in_presented_credentials(self, world):
+        """Presenting extra credentials never turns a grant into a denial."""
+        ca, registry, credentials, now = world
+        if not credentials:
+            return
+        subset = credentials[: len(credentials) // 2]
+        if run_eval(registry, subset, now).granted:
+            assert run_eval(registry, credentials, now).granted
+
+    @given(credential_worlds())
+    @settings(max_examples=100)
+    def test_eval_is_deterministic(self, world):
+        ca, registry, credentials, now = world
+        first = run_eval(registry, credentials, now)
+        second = run_eval(registry, credentials, now)
+        assert first.granted == second.granted
+        assert first.reason == second.reason
+
+    @given(credential_worlds())
+    @settings(max_examples=100)
+    def test_write_needs_admin_not_member(self, world):
+        ca, registry, credentials, now = world
+        proof = run_eval(registry, credentials, now, operation=Operation.WRITE)
+        live_admin = any(
+            credential.atom.args[1] == "admin"
+            and credential.issued_at <= now < credential.expires_at
+            and ca.status_clean_over(credential.cred_id, credential.issued_at, now)
+            for credential in credentials
+        )
+        assert proof.granted == live_admin

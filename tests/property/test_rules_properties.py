@@ -1,0 +1,119 @@
+"""Property-based tests for the inference engine (hypothesis)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.policy.rules import Atom, FactBase, Rule, RuleSet, Variable, unify
+
+constants = st.text(alphabet="abcde", min_size=1, max_size=3)
+predicates = st.sampled_from(["p", "q", "r"])
+
+
+@st.composite
+def ground_atoms(draw):
+    predicate = draw(predicates)
+    arity = draw(st.integers(min_value=0, max_value=3))
+    args = tuple(draw(constants) for _ in range(arity))
+    return Atom(predicate, args)
+
+
+@st.composite
+def mixed_atoms(draw):
+    predicate = draw(predicates)
+    arity = draw(st.integers(min_value=1, max_value=3))
+    args = []
+    for index in range(arity):
+        if draw(st.booleans()):
+            args.append(Variable(draw(st.sampled_from("XYZ"))))
+        else:
+            args.append(draw(constants))
+    return Atom(predicate, tuple(args))
+
+
+class TestUnificationProperties:
+    @given(ground_atoms())
+    def test_ground_atom_unifies_with_itself(self, atom):
+        assert unify(atom, atom, {}) == {}
+
+    @given(mixed_atoms(), ground_atoms())
+    def test_unifier_makes_atoms_equal(self, pattern, ground):
+        subst = unify(pattern, ground, {})
+        if subst is not None:
+            assert pattern.substitute(subst) == ground.substitute(subst)
+
+    @given(mixed_atoms(), ground_atoms())
+    def test_unify_is_symmetric_in_success(self, left, right):
+        forward = unify(left, right, {})
+        backward = unify(right, left, {})
+        assert (forward is None) == (backward is None)
+
+    @given(ground_atoms(), ground_atoms())
+    def test_distinct_ground_atoms_never_unify(self, a, b):
+        subst = unify(a, b, {})
+        if a != b:
+            assert subst is None
+        else:
+            assert subst == {}
+
+
+class TestProofSoundness:
+    @given(st.lists(ground_atoms(), min_size=0, max_size=8), ground_atoms())
+    def test_fact_lookup_soundness(self, facts, goal):
+        """prove() finds a fact-proof iff the goal is among the facts."""
+        base = FactBase()
+        for index, fact in enumerate(facts):
+            base.add(fact, source=f"c{index}")
+        proof = RuleSet([]).prove(goal, base)
+        if goal in base:
+            assert proof is not None
+            assert proof.atom == goal
+        else:
+            assert proof is None
+
+    @given(st.lists(ground_atoms(), min_size=1, max_size=6))
+    @settings(max_examples=50)
+    def test_proofs_only_use_presented_facts(self, facts):
+        """Every leaf of any derivation is one of the presented facts."""
+        base = FactBase()
+        for index, fact in enumerate(facts):
+            base.add(fact, source=f"c{index}")
+        X = Variable("X")
+        rules = RuleSet(
+            [Rule(Atom("goal", (X,)), (Atom("p", (X,)),))]
+        )
+        for fact in facts:
+            if fact.predicate == "p" and len(fact.args) == 1:
+                proof = rules.prove(Atom("goal", fact.args), base)
+                assert proof is not None
+                for leaf in proof.leaves():
+                    assert leaf.atom in base
+
+    @given(st.lists(ground_atoms(), max_size=6), ground_atoms())
+    @settings(max_examples=50)
+    def test_proved_atoms_are_ground(self, facts, goal):
+        base = FactBase()
+        for index, fact in enumerate(facts):
+            base.add(fact, source=f"c{index}")
+        proof = RuleSet([]).prove(goal, base)
+        if proof is not None:
+            assert proof.atom.is_ground
+
+
+class TestMonotonicity:
+    @given(
+        st.lists(ground_atoms(), min_size=0, max_size=5),
+        st.lists(ground_atoms(), min_size=0, max_size=5),
+        ground_atoms(),
+    )
+    @settings(max_examples=50)
+    def test_adding_facts_never_retracts_proofs(self, base_facts, extra_facts, goal):
+        """Datalog is monotone: more credentials can't invalidate a proof."""
+        small = FactBase()
+        for index, fact in enumerate(base_facts):
+            small.add(fact, source=f"a{index}")
+        big = FactBase()
+        for index, fact in enumerate(base_facts + extra_facts):
+            big.add(fact, source=f"b{index}")
+        rules = RuleSet([])
+        if rules.prove(goal, small) is not None:
+            assert rules.prove(goal, big) is not None

@@ -1,0 +1,71 @@
+"""Property-based tests for storage-engine transactional semantics."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.db.storage import StorageEngine
+
+KEYS = ("a", "b", "c")
+TXNS = ("t1", "t2", "t3")
+
+
+@st.composite
+def histories(draw):
+    """Random interleavings of reads, writes, commits, and aborts."""
+    ops = []
+    count = draw(st.integers(min_value=1, max_value=30))
+    for _ in range(count):
+        kind = draw(st.sampled_from(["read", "write", "apply", "discard"]))
+        txn = draw(st.sampled_from(TXNS))
+        if kind in ("read", "write"):
+            ops.append((kind, txn, draw(st.sampled_from(KEYS)), draw(st.integers(0, 99))))
+        else:
+            ops.append((kind, txn, None, None))
+    return ops
+
+
+def run_history(ops):
+    engine = StorageEngine("s")
+    engine.install_many({key: 0 for key in KEYS})
+    committed_model = {key: 0 for key in KEYS}
+    pending = {txn: {} for txn in TXNS}
+    for kind, txn, key, value in ops:
+        if kind == "read":
+            observed = engine.read(txn, key)
+            expected = pending[txn].get(key, committed_model[key])
+            assert observed == expected
+        elif kind == "write":
+            engine.write(txn, key, value)
+            pending[txn][key] = value
+        elif kind == "apply":
+            engine.apply(txn, committed_at=0.0)
+            committed_model.update(pending[txn])
+            pending[txn] = {}
+        else:
+            engine.discard(txn)
+            pending[txn] = {}
+    return engine, committed_model
+
+
+class TestTransactionalSemantics:
+    @given(histories())
+    @settings(max_examples=200)
+    def test_engine_matches_reference_model(self, ops):
+        """The engine agrees with a naive committed+pending model."""
+        engine, committed_model = run_history(ops)
+        assert engine.snapshot() == committed_model
+
+    @given(histories())
+    @settings(max_examples=100)
+    def test_discard_all_reverts_to_committed(self, ops):
+        engine, committed_model = run_history(ops)
+        for txn in TXNS:
+            engine.discard(txn)
+        assert engine.snapshot() == committed_model
+
+    @given(histories())
+    @settings(max_examples=100)
+    def test_uncommitted_writes_never_visible_to_others(self, ops):
+        engine, _model = run_history(ops)
+        engine.write("t1", "a", 12345)
+        assert engine.read("t2", "a") != 12345 or engine.committed_value("a") == 12345

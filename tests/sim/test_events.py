@@ -1,0 +1,177 @@
+"""Unit tests for the event primitives."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Timeout
+from repro.sim.kernel import Environment
+
+
+class TestEvent:
+    def test_starts_pending(self, env):
+        event = env.event()
+        assert not event.triggered
+        assert not event.processed
+
+    def test_succeed_sets_value(self, env):
+        event = env.event()
+        event.succeed(41)
+        assert event.triggered
+        env.run()
+        assert event.processed
+        assert event.value == 41
+
+    def test_succeed_twice_is_an_error(self, env):
+        event = env.event()
+        event.succeed()
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_then_succeed_is_an_error(self, env):
+        event = env.event()
+        event.fail(ValueError("boom"))
+        event.defused = True
+        with pytest.raises(SimulationError):
+            event.succeed()
+
+    def test_fail_requires_exception(self, env):
+        event = env.event()
+        with pytest.raises(SimulationError):
+            event.fail("not an exception")
+
+    def test_value_before_trigger_raises(self, env):
+        event = env.event()
+        with pytest.raises(SimulationError):
+            _ = event.value
+
+    def test_ok_before_trigger_raises(self, env):
+        event = env.event()
+        with pytest.raises(SimulationError):
+            _ = event.ok
+
+    def test_failed_event_value_reraises(self, env):
+        event = env.event()
+        event.fail(KeyError("k"))
+        event.defused = True
+        env.run()
+        with pytest.raises(KeyError):
+            _ = event.value
+
+    def test_callback_runs_on_processing(self, env):
+        event = env.event()
+        seen = []
+        event.add_callback(lambda ev: seen.append(ev.value))
+        event.succeed("x")
+        env.run()
+        assert seen == ["x"]
+
+    def test_callback_added_after_processing_runs_immediately(self, env):
+        event = env.event()
+        event.succeed(7)
+        env.run()
+        seen = []
+        event.add_callback(lambda ev: seen.append(ev.value))
+        assert seen == [7]
+
+    def test_unhandled_failure_propagates_from_run(self, env):
+        event = env.event()
+        event.fail(RuntimeError("unhandled"))
+        with pytest.raises(RuntimeError):
+            env.run()
+
+    def test_defused_failure_does_not_propagate(self, env):
+        event = env.event()
+        event.fail(RuntimeError("handled"))
+        event.defused = True
+        env.run()  # no raise
+
+
+class TestTimeout:
+    def test_fires_after_delay(self, env):
+        timeout = env.timeout(5, value="done")
+        env.run()
+        assert env.now == 5
+        assert timeout.value == "done"
+
+    def test_negative_delay_rejected(self, env):
+        with pytest.raises(SimulationError):
+            env.timeout(-1)
+
+    def test_zero_delay_fires_at_current_time(self, env):
+        env.timeout(3)
+        env.run()
+        start = env.now
+        env.timeout(0)
+        env.run()
+        assert env.now == start
+
+    def test_ordering_of_timeouts(self, env):
+        order = []
+        env.timeout(2).add_callback(lambda ev: order.append("b"))
+        env.timeout(1).add_callback(lambda ev: order.append("a"))
+        env.timeout(3).add_callback(lambda ev: order.append("c"))
+        env.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_for_equal_times(self, env):
+        order = []
+        env.timeout(1).add_callback(lambda ev: order.append(1))
+        env.timeout(1).add_callback(lambda ev: order.append(2))
+        env.run()
+        assert order == [1, 2]
+
+
+class TestAllOf:
+    def test_collects_all_values_in_order(self, env):
+        events = [env.timeout(3, "c"), env.timeout(1, "a"), env.timeout(2, "b")]
+        combined = env.all_of(events)
+        env.run()
+        assert combined.value == ["c", "a", "b"]
+
+    def test_empty_allof_succeeds_immediately(self, env):
+        combined = env.all_of([])
+        env.run()
+        assert combined.value == []
+
+    def test_fails_if_any_child_fails(self, env):
+        good = env.timeout(1)
+        bad = env.event()
+        bad.fail(ValueError("child"))
+        combined = env.all_of([good, bad])
+        combined.add_callback(lambda ev: setattr(ev, "defused", True))
+        env.run()
+        assert isinstance(combined.exception, ValueError)
+
+    def test_waits_for_slowest(self, env):
+        combined = env.all_of([env.timeout(1), env.timeout(10)])
+        done_at = []
+        combined.add_callback(lambda ev: done_at.append(env.now))
+        env.run()
+        assert done_at == [10]
+
+    def test_rejects_mixed_environments(self, env):
+        other = Environment()
+        with pytest.raises(SimulationError):
+            env.all_of([env.timeout(1), other.timeout(1)])
+
+
+class TestAnyOf:
+    def test_first_winner_and_index(self, env):
+        combined = env.any_of([env.timeout(5, "slow"), env.timeout(1, "fast")])
+        env.run()
+        assert combined.value == (1, "fast")
+
+    def test_triggers_at_earliest_time(self, env):
+        combined = env.any_of([env.timeout(5), env.timeout(2)])
+        when = []
+        combined.add_callback(lambda ev: when.append(env.now))
+        env.run()
+        assert when == [2]
+
+    def test_child_failure_fails_anyof(self, env):
+        bad = env.event()
+        bad.fail(KeyError("x"))
+        combined = env.any_of([env.timeout(5), bad])
+        combined.add_callback(lambda ev: setattr(ev, "defused", True))
+        env.run()
+        assert isinstance(combined.exception, KeyError)

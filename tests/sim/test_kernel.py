@@ -1,0 +1,101 @@
+"""Unit tests for the environment / event loop."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Environment
+
+
+class TestClock:
+    def test_starts_at_zero(self, env):
+        assert env.now == 0.0
+
+    def test_custom_initial_time(self):
+        assert Environment(initial_time=100.0).now == 100.0
+
+    def test_time_advances_with_events(self, env):
+        env.timeout(4)
+        env.run()
+        assert env.now == 4
+
+    def test_run_until_number_advances_clock_even_without_events(self, env):
+        env.run(until=10)
+        assert env.now == 10
+
+    def test_run_until_past_raises(self, env):
+        env.timeout(5)
+        env.run()
+        with pytest.raises(SimulationError):
+            env.run(until=1)
+
+
+class TestStep:
+    def test_step_on_empty_queue_raises(self, env):
+        with pytest.raises(SimulationError):
+            env.step()
+
+    def test_peek_empty_is_inf(self, env):
+        assert env.peek() == float("inf")
+
+    def test_peek_returns_next_event_time(self, env):
+        env.timeout(7)
+        env.timeout(3)
+        assert env.peek() == 3
+
+    def test_step_processes_exactly_one_event(self, env):
+        hits = []
+        env.timeout(1).add_callback(lambda ev: hits.append(1))
+        env.timeout(2).add_callback(lambda ev: hits.append(2))
+        env.step()
+        assert hits == [1]
+
+
+class TestRunUntilEvent:
+    def test_returns_event_value(self, env):
+        target = env.timeout(5, value="payload")
+        assert env.run(until=target) == "payload"
+        assert env.now == 5
+
+    def test_stops_at_event_not_queue_exhaustion(self, env):
+        target = env.timeout(2)
+        env.timeout(100)
+        env.run(until=target)
+        assert env.now == 2
+
+    def test_already_processed_event_returns_immediately(self, env):
+        target = env.timeout(1, value=3)
+        env.run()
+        assert env.run(until=target) == 3
+
+    def test_failed_target_raises(self, env):
+        def bad():
+            yield env.timeout(1)
+            raise ValueError("process error")
+
+        process = env.process(bad())
+        with pytest.raises(ValueError):
+            env.run(until=process)
+
+    def test_queue_drained_before_event_raises(self, env):
+        never = env.event()
+        with pytest.raises(SimulationError):
+            env.run(until=never)
+
+
+class TestRunUntilTime:
+    def test_events_beyond_deadline_stay_queued(self, env):
+        hits = []
+        env.timeout(5).add_callback(lambda ev: hits.append("early"))
+        env.timeout(50).add_callback(lambda ev: hits.append("late"))
+        env.run(until=10)
+        assert hits == ["early"]
+        env.run()
+        assert hits == ["early", "late"]
+
+    def test_run_with_no_events_returns(self, env):
+        assert env.run() is None
+
+    def test_schedule_into_past_rejected(self, env):
+        event = env.event()
+        with pytest.raises(SimulationError):
+            env.schedule(event, delay=-1)

@@ -1,0 +1,185 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Environment
+from repro.sim.process import Interrupt, Process
+
+
+class TestBasics:
+    def test_process_runs_and_returns(self, env):
+        def body():
+            yield env.timeout(3)
+            return "result"
+
+        process = env.process(body())
+        assert env.run(until=process) == "result"
+        assert env.now == 3
+
+    def test_yield_receives_event_value(self, env):
+        def body():
+            value = yield env.timeout(1, value="hello")
+            return value
+
+        assert env.run(until=env.process(body())) == "hello"
+
+    def test_sequential_timeouts_accumulate(self, env):
+        def body():
+            yield env.timeout(2)
+            yield env.timeout(3)
+            return env.now
+
+        assert env.run(until=env.process(body())) == 5
+
+    def test_non_generator_rejected(self, env):
+        with pytest.raises(SimulationError):
+            Process(env, lambda: None)
+
+    def test_yielding_non_event_fails_process(self, env):
+        def body():
+            yield 42
+
+        process = env.process(body())
+        with pytest.raises(SimulationError):
+            env.run(until=process)
+
+    def test_is_alive_lifecycle(self, env):
+        def body():
+            yield env.timeout(5)
+
+        process = env.process(body())
+        assert process.is_alive
+        env.run()
+        assert not process.is_alive
+
+    def test_process_waiting_on_another_process(self, env):
+        def child():
+            yield env.timeout(4)
+            return "child-done"
+
+        def parent():
+            result = yield env.process(child())
+            return f"saw {result}"
+
+        assert env.run(until=env.process(parent())) == "saw child-done"
+
+    def test_already_finished_event_resumes_immediately(self, env):
+        done = env.timeout(1, value="v")
+
+        def body():
+            yield env.timeout(5)  # done is long processed by now
+            value = yield done
+            return value
+
+        assert env.run(until=env.process(body())) == "v"
+
+
+class TestFailures:
+    def test_exception_in_body_fails_process(self, env):
+        def body():
+            yield env.timeout(1)
+            raise RuntimeError("inside")
+
+        process = env.process(body())
+        with pytest.raises(RuntimeError):
+            env.run(until=process)
+
+    def test_failed_event_is_thrown_into_process(self, env):
+        bad = env.event()
+
+        def failer():
+            yield env.timeout(1)
+            bad.fail(KeyError("payload"))
+
+        def body():
+            try:
+                yield bad
+            except KeyError:
+                return "caught"
+
+        env.process(failer())
+        assert env.run(until=env.process(body())) == "caught"
+
+    def test_uncaught_thrown_exception_fails_process(self, env):
+        bad = env.event()
+
+        def failer():
+            yield env.timeout(1)
+            bad.fail(ValueError("x"))
+
+        def body():
+            yield bad
+
+        env.process(failer())
+        process = env.process(body())
+        with pytest.raises(ValueError):
+            env.run(until=process)
+
+
+class TestInterrupts:
+    def test_interrupt_is_catchable(self, env):
+        def body():
+            try:
+                yield env.timeout(100)
+            except Interrupt as interrupt:
+                return ("interrupted", interrupt.cause, env.now)
+
+        process = env.process(body())
+
+        def interrupter():
+            yield env.timeout(5)
+            process.interrupt("reason")
+
+        env.process(interrupter())
+        assert env.run(until=process) == ("interrupted", "reason", 5)
+
+    def test_interrupted_process_can_continue_waiting(self, env):
+        def body():
+            try:
+                yield env.timeout(100)
+            except Interrupt:
+                pass
+            yield env.timeout(10)
+            return env.now
+
+        process = env.process(body())
+
+        def interrupter():
+            yield env.timeout(5)
+            process.interrupt()
+
+        env.process(interrupter())
+        assert env.run(until=process) == 15
+
+    def test_stale_wakeup_after_interrupt_is_ignored(self, env):
+        """The abandoned timeout firing later must not resume the process."""
+        resumed_values = []
+
+        def body():
+            try:
+                yield env.timeout(8, value="abandoned")
+            except Interrupt:
+                pass
+            value = yield env.timeout(20, value="real")
+            resumed_values.append(value)
+            return value
+
+        process = env.process(body())
+
+        def interrupter():
+            yield env.timeout(2)
+            process.interrupt()
+
+        env.process(interrupter())
+        assert env.run(until=process) == "real"
+        assert resumed_values == ["real"]
+
+    def test_interrupting_finished_process_raises(self, env):
+        def body():
+            yield env.timeout(1)
+
+        process = env.process(body())
+        env.run()
+        with pytest.raises(SimulationError):
+            process.interrupt()

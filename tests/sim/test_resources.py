@@ -1,0 +1,159 @@
+"""Unit tests for the capacity-limited Resource."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Environment
+from repro.sim.resources import Resource
+
+
+class TestBasics:
+    def test_capacity_validation(self, env):
+        with pytest.raises(SimulationError):
+            Resource(env, 0)
+
+    def test_immediate_grant_when_free(self, env):
+        resource = Resource(env, 2)
+        grant = resource.acquire()
+        assert grant.triggered
+        assert resource.in_use == 1
+        assert resource.available == 1
+
+    def test_release_without_hold_rejected(self, env):
+        resource = Resource(env, 1)
+        with pytest.raises(SimulationError):
+            resource.release()
+
+    def test_queueing_beyond_capacity(self, env):
+        resource = Resource(env, 1)
+        first = resource.acquire()
+        second = resource.acquire()
+        assert first.triggered and not second.triggered
+        assert resource.queue_length == 1
+        resource.release()
+        assert second.triggered
+        assert resource.queue_length == 0
+
+    def test_fifo_grant_order(self, env):
+        resource = Resource(env, 1)
+        resource.acquire()
+        waiters = [resource.acquire() for _ in range(3)]
+        grant_order = []
+        for index, waiter in enumerate(waiters):
+            waiter.add_callback(lambda ev, i=index: grant_order.append(i))
+        for _ in range(3):
+            resource.release()
+            env.run()
+        assert grant_order == [0, 1, 2]
+
+    def test_peak_and_total_statistics(self, env):
+        resource = Resource(env, 3)
+        resource.acquire()
+        resource.acquire()
+        resource.release()
+        resource.acquire()
+        assert resource.peak_usage == 2
+        assert resource.total_grants == 3
+
+
+class TestWithProcesses:
+    def test_mutex_serializes_work(self, env):
+        resource = Resource(env, 1)
+        finish_times = []
+
+        def worker(duration):
+            yield resource.acquire()
+            try:
+                yield env.timeout(duration)
+            finally:
+                resource.release()
+            finish_times.append(env.now)
+
+        for _ in range(3):
+            env.process(worker(5))
+        env.run()
+        assert finish_times == [5, 10, 15]
+
+    def test_capacity_two_overlaps_work(self, env):
+        resource = Resource(env, 2)
+        finish_times = []
+
+        def worker(duration):
+            yield resource.acquire()
+            try:
+                yield env.timeout(duration)
+            finally:
+                resource.release()
+            finish_times.append(env.now)
+
+        for _ in range(4):
+            env.process(worker(5))
+        env.run()
+        assert finish_times == [5, 5, 10, 10]
+
+    def test_using_helper_releases_on_completion(self, env):
+        resource = Resource(env, 1)
+
+        def work():
+            yield env.timeout(3)
+            return "done"
+
+        def runner():
+            result = yield from resource.using(work())
+            return result
+
+        process = env.process(runner())
+        assert env.run(until=process) == "done"
+        assert resource.in_use == 0
+
+    def test_using_helper_releases_on_exception(self, env):
+        resource = Resource(env, 1)
+
+        def bad_work():
+            yield env.timeout(1)
+            raise ValueError("boom")
+
+        def runner():
+            yield from resource.using(bad_work())
+
+        process = env.process(runner())
+        with pytest.raises(ValueError):
+            env.run(until=process)
+        assert resource.in_use == 0
+
+
+class TestServerConcurrency:
+    def test_bounded_server_serializes_concurrent_queries(self):
+        """Two concurrent queries on a capacity-1 server take twice as long
+        as on an unbounded one."""
+        from repro.cloud.config import CloudConfig
+        from repro.core.consistency import ConsistencyLevel
+        from repro.sim.network import FixedLatency
+        from repro.transactions.transaction import Query, Transaction
+        from repro.workloads.testbed import build_cluster
+
+        def run(concurrency):
+            config = CloudConfig(
+                latency=FixedLatency(1.0), server_concurrency=concurrency
+            )
+            cluster = build_cluster(n_servers=1, seed=66, config=config)
+            credential = cluster.issue_role_credential("alice")
+            processes = [
+                cluster.submit(
+                    Transaction(
+                        f"c{i}", "alice", (Query.read(f"c{i}-q", [f"s1/x{i + 1}"]),),
+                        (credential,),
+                    ),
+                    "punctual",
+                    ConsistencyLevel.VIEW,
+                )
+                for i in range(2)
+            ]
+            cluster.env.run(until=cluster.env.all_of(processes))
+            return max(outcome.finished_at for outcome in cluster.tm.outcomes)
+
+        unbounded = run(None)
+        serialized = run(1)
+        assert serialized > unbounded
+        # The capacity-1 server really did queue work.
+        assert unbounded < serialized <= unbounded + 4.0

@@ -1,0 +1,58 @@
+"""Unit tests for the tracer."""
+
+from repro.sim.tracing import TraceRecord, Tracer
+
+
+def test_records_accumulate_in_order():
+    tracer = Tracer()
+    tracer.record(1.0, "a", x=1)
+    tracer.record(2.0, "b", x=2)
+    assert [record.category for record in tracer] == ["a", "b"]
+    assert len(tracer) == 2
+
+
+def test_disabled_tracer_is_a_noop():
+    tracer = Tracer(enabled=False)
+    tracer.record(1.0, "a")
+    assert len(tracer) == 0
+
+
+def test_select_by_category():
+    tracer = Tracer()
+    tracer.record(1.0, "a", n=1)
+    tracer.record(2.0, "b", n=2)
+    tracer.record(3.0, "a", n=3)
+    assert [record.get("n") for record in tracer.select("a")] == [1, 3]
+
+
+def test_select_by_predicate():
+    tracer = Tracer()
+    for value in range(5):
+        tracer.record(float(value), "tick", n=value)
+    late = tracer.select(predicate=lambda record: record.time >= 3)
+    assert [record.get("n") for record in late] == [3, 4]
+
+
+def test_record_get_with_default():
+    record = TraceRecord(0.0, "c", (("x", 1),))
+    assert record.get("x") == 1
+    assert record.get("missing", "d") == "d"
+
+
+def test_as_dict_includes_time_and_category():
+    record = TraceRecord(1.5, "cat", (("k", "v"),))
+    assert record.as_dict() == {"time": 1.5, "category": "cat", "k": "v"}
+
+
+def test_categories_in_first_seen_order():
+    tracer = Tracer()
+    for category in ["b", "a", "b", "c", "a"]:
+        tracer.record(0.0, category)
+    assert tracer.categories() == ["b", "a", "c"]
+
+
+def test_clear_empties_the_trace():
+    tracer = Tracer()
+    tracer.record(0.0, "x")
+    tracer.clear()
+    assert len(tracer) == 0

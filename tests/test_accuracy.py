@@ -1,0 +1,147 @@
+"""Unit + integration tests for the decision-accuracy oracle."""
+
+import pytest
+
+from repro.analysis.accuracy import AccuracyReport, Classification, oracle_for_cluster
+from repro.cloud.config import CloudConfig
+from repro.core.consistency import ConsistencyLevel
+from repro.sim.network import FixedLatency
+from repro.transactions.transaction import Query, Transaction
+from repro.workloads.testbed import build_cluster
+from repro.workloads.updates import restricting_successor, revoke_at
+
+VIEW, GLOBAL = ConsistencyLevel.VIEW, ConsistencyLevel.GLOBAL
+
+
+def make_cluster(seed=9):
+    cluster = build_cluster(
+        n_servers=2, seed=seed, config=CloudConfig(latency=FixedLatency(1.0))
+    )
+    return cluster, oracle_for_cluster(cluster)
+
+
+def two_reads(credential, txn_id="t"):
+    return Transaction(
+        txn_id,
+        "alice",
+        queries=(
+            Query.read(f"{txn_id}-q1", ["s1/x1"]),
+            Query.read(f"{txn_id}-q2", ["s2/x1"]),
+        ),
+        credentials=(credential,),
+    )
+
+
+def tighten_with_partial_replication(cluster, at_time=3.0):
+    def churn():
+        yield cluster.env.timeout(at_time)
+        cluster.publish(
+            "app",
+            restricting_successor(cluster.admin("app").current, "senior"),
+            delays={"s1": 0.5, "s2": 9999.0},
+        )
+
+    cluster.env.process(churn())
+
+
+class TestOracleBasics:
+    def test_quiet_run_is_all_true_positives(self):
+        cluster, oracle = make_cluster()
+        credential = cluster.issue_role_credential("alice")
+        outcome = cluster.run_transaction(two_reads(credential), "punctual", VIEW)
+        assert outcome.committed
+        report = oracle.report(cluster.tm.finished["t"].view)
+        assert report.count("TP") == report.total > 0
+        assert report.accuracy == 1.0
+
+    def test_stale_grant_is_a_false_positive(self):
+        """The paper's §IV-B false positive: a stale server grants what the
+        published policy already forbids."""
+        cluster, oracle = make_cluster()
+        credential = cluster.issue_role_credential("alice")
+        tighten_with_partial_replication(cluster)
+        cluster.run_transaction(two_reads(credential), "punctual", VIEW)
+        report = oracle.report(cluster.tm.finished["t"].view)
+        assert report.count("FP") > 0
+        assert report.false_positive_rate > 0
+
+    def test_revoked_credential_denial_is_true_negative(self):
+        cluster, oracle = make_cluster()
+        credential = cluster.issue_role_credential("alice")
+        revoke_at(cluster, credential.issuer, credential.cred_id, at_time=0.5)
+        cluster.run_transaction(two_reads(credential), "punctual", VIEW)
+        report = oracle.report(cluster.tm.finished["t"].view)
+        assert report.count("TN") == report.total > 0
+
+    def test_false_negative_from_restore_lag(self):
+        """A server still on the tightened version denies what the restored
+        policy allows — the §IV-B false negative."""
+        from repro.workloads.testbed import MEMBER_ROLE
+
+        cluster, oracle = make_cluster()
+        credential = cluster.issue_role_credential("alice")
+        # Tighten everywhere immediately...
+        cluster.publish(
+            "app",
+            restricting_successor(cluster.admin("app").current, "senior"),
+            delays={"s1": 0.1, "s2": 0.1},
+        )
+        cluster.run(until=2.0)
+        # ...then restore, but the restore never reaches the servers.
+        cluster.publish(
+            "app",
+            restricting_successor(cluster.admin("app").current, MEMBER_ROLE),
+            delays={"s1": 9999.0, "s2": 9999.0},
+        )
+        cluster.run(until=3.0)
+        cluster.run_transaction(two_reads(credential), "punctual", VIEW)
+        report = oracle.report(cluster.tm.finished["t"].view)
+        assert report.count("FN") > 0
+        assert report.false_negative_rate > 0
+
+    def test_empty_report_is_vacuously_accurate(self):
+        report = AccuracyReport()
+        assert report.accuracy == 1.0
+        assert report.false_positive_rate == 0.0
+        assert report.total == 0
+
+
+class TestConsistencyLevelAccuracy:
+    def test_view_commit_on_stale_agreed_version_is_fp(self):
+        """φ allows committing on an old-but-agreed version; against the
+        oracle those final proofs are false positives — the measurable form
+        of the paper's 'view consistency is weak' remark."""
+        cluster, oracle = make_cluster(seed=10)
+        credential = cluster.issue_role_credential("alice")
+        # Tighten, reaching NO server during the transaction.
+        cluster.publish(
+            "app",
+            restricting_successor(cluster.admin("app").current, "senior"),
+            delays={"s1": 9999.0, "s2": 9999.0},
+        )
+        cluster.run(until=1.0)
+        outcome = cluster.run_transaction(two_reads(credential), "deferred", VIEW)
+        assert outcome.committed  # agreed on stale v1
+        report = oracle.report(cluster.tm.finished["t"].final_proofs())
+        assert report.count("FP") == report.total > 0
+
+    def test_global_commit_final_proofs_never_fp(self):
+        """ψ forces the latest version, so committed final proofs agree
+        with the oracle."""
+        cluster, oracle = make_cluster(seed=11)
+        credential = cluster.issue_role_credential("alice")
+        # Benign version churn that reaches no server: global mode must
+        # repair to the master's version before committing.
+        from repro.workloads.updates import benign_successor
+
+        cluster.publish(
+            "app",
+            benign_successor(cluster.admin("app").current),
+            delays={"s1": 9999.0, "s2": 9999.0},
+        )
+        cluster.run(until=1.0)
+        outcome = cluster.run_transaction(two_reads(credential), "deferred", GLOBAL)
+        assert outcome.committed
+        report = oracle.report(cluster.tm.finished["t"].final_proofs())
+        assert report.count("FP") == 0
+        assert report.count("TP") == report.total > 0

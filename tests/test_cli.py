@@ -1,0 +1,30 @@
+"""Smoke tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import COMMANDS, main
+
+
+class TestCli:
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "deferred" in out and "continuous" in out
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "u(u+1)" in out
+
+    def test_bob_runs(self, capsys):
+        assert main(["bob"]) == 0
+        out = capsys.readouterr().out
+        assert "UNSAFE" in out  # the incremental unsafe commit reproduces
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_all_commands_registered(self):
+        assert set(COMMANDS) == {"demo", "table1", "quadrants", "bob"}

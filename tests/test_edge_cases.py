@@ -1,0 +1,149 @@
+"""Edge cases across protocol and predicate surfaces."""
+
+import pytest
+
+from repro.cloud.config import CloudConfig
+from repro.core.consistency import ConsistencyLevel
+from repro.core.trusted import check_trusted
+from repro.core.twopv import run_2pv
+from repro.core.twopvc import run_2pvc
+from repro.sim.network import FixedLatency
+from repro.transactions.states import Decision
+from repro.transactions.transaction import Query, Transaction
+from repro.workloads.testbed import build_cluster
+
+from tests.core.test_consistency import make_proof
+from tests.core.test_protocol_functions import make_ctx
+
+VIEW, GLOBAL = ConsistencyLevel.VIEW, ConsistencyLevel.GLOBAL
+
+
+class TestEmptyProtocolRuns:
+    def _drive(self, generator):
+        """Run a protocol generator that needs no real coordinator."""
+
+        class _Dummy:
+            pass
+
+        try:
+            event = next(generator)
+            raise AssertionError(f"expected immediate return, got {event!r}")
+        except StopIteration as stop:
+            return stop.value
+
+    def test_2pv_with_no_participants_continues(self):
+        ctx = make_ctx()
+        result = self._drive(run_2pv(_FakeTm(), ctx))
+        assert result.ok
+        assert result.rounds == 0
+
+    def test_2pvc_with_no_participants_commits(self):
+        ctx = make_ctx()
+        result = self._drive(run_2pvc(_FakeTm(), ctx, validate=True))
+        assert result.decision is Decision.COMMIT
+        assert result.rounds == 0
+
+
+class _FakeTm:
+    """Minimal coordinator surface for the zero-participant paths."""
+
+    config = CloudConfig()
+    env = None
+    wal = None
+
+
+class TestTrustedEdgeCases:
+    def test_global_without_latest_versions_fails_closed(self):
+        proofs = [make_proof(version=3, at=1.0)]
+        report = check_trusted(proofs, GLOBAL, 0.0, 5.0, latest_versions=None)
+        assert not report.trusted
+        assert not report.consistent
+
+    def test_window_boundaries_inclusive(self):
+        proofs = [make_proof(at=0.0), make_proof("s2", at=5.0)]
+        assert check_trusted(proofs, VIEW, 0.0, 5.0).trusted
+
+    def test_multiple_failure_reasons_reported(self):
+        proofs = [
+            make_proof(at=99.0, granted=False, version=1),
+            make_proof("s2", at=1.0, version=2),
+        ]
+        report = check_trusted(proofs, VIEW, 0.0, 5.0)
+        assert len(report.failures) >= 3  # denied + out-of-window + inconsistent
+
+
+class TestServerEdgeCases:
+    def test_prepare_to_commit_for_unknown_txn_votes_yes_empty(self):
+        """A 2PVC prepare reaching a server with no state for the txn (e.g.
+        after a local rollback) must not crash; it reports an empty,
+        truthful, constraint-clean vote."""
+        cluster = build_cluster(
+            n_servers=1, seed=31, config=CloudConfig(latency=FixedLatency(1.0))
+        )
+
+        replies = []
+
+        def probe():
+            event = cluster.tm.request(
+                "s1",
+                "2pvc.prepare",
+                "protocol.vote",
+                txn_id="ghost-txn",
+                validate=True,
+            )
+            reply = yield event
+            replies.append(reply)
+
+        done = cluster.env.process(probe())
+        cluster.env.run(until=done)
+        reply = replies[0]
+        assert reply["vote"].value == "yes"
+        assert reply["truth"] is True
+        assert reply["proofs"] == []
+
+    def test_write_query_records_new_value_in_reply(self):
+        cluster = build_cluster(
+            n_servers=1, seed=32, config=CloudConfig(latency=FixedLatency(1.0))
+        )
+        credential = cluster.issue_role_credential("alice")
+        txn = Transaction(
+            "t-w",
+            "alice",
+            (Query.write("q1", sets={"s1/x1": 7.0}, deltas={"s1/x2": -2.0}),),
+            (credential,),
+        )
+        outcome = cluster.run_transaction(txn, "punctual", VIEW)
+        assert outcome.committed
+        values = cluster.tm.finished["t-w"].values["q1"]
+        assert values == {"s1/x1": 7.0, "s1/x2": 98.0}
+        assert cluster.server("s1").storage.committed_value("s1/x1") == 7.0
+
+    def test_decision_for_unknown_txn_is_harmless(self):
+        cluster = build_cluster(
+            n_servers=1, seed=33, config=CloudConfig(latency=FixedLatency(1.0))
+        )
+
+        def probe():
+            reply = yield cluster.tm.request(
+                "s1",
+                "decision",
+                "protocol.decision",
+                txn_id="never-existed",
+                decision=Decision.ABORT,
+                force=False,
+                ack=True,
+            )
+            return reply
+
+        done = cluster.env.process(probe())
+        reply = cluster.env.run(until=done)
+        assert reply.kind == "decision.ack"
+
+
+class TestSweepLabel:
+    def test_label_is_informative(self):
+        from repro.analysis.sweep import SweepPoint
+
+        point = SweepPoint(approach="punctual", txn_length=5, update_interval=30.0)
+        label = point.label()
+        assert "punctual" in label and "u=5" in label and "30" in label

@@ -1,0 +1,89 @@
+"""Unit tests for outcome export."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import AbortReason
+from repro.metrics.export import (
+    FIELDS,
+    from_json,
+    outcome_to_dict,
+    to_csv,
+    to_json,
+)
+from repro.metrics.stats import TransactionOutcome
+
+
+def sample_outcome(committed=True, txn_id="t1"):
+    return TransactionOutcome(
+        txn_id=txn_id,
+        approach="deferred",
+        consistency="view",
+        committed=committed,
+        abort_reason=None if committed else AbortReason.PROOF_FAILED,
+        started_at=0.0,
+        execution_done_at=5.0,
+        finished_at=10.0,
+        queries_total=3,
+        queries_executed=3,
+        participants=3,
+        voting_rounds=1,
+        protocol_messages=12,
+        proof_evaluations=3,
+        commit_rounds=1,
+    )
+
+
+class TestDictConversion:
+    def test_all_fields_present(self):
+        data = outcome_to_dict(sample_outcome())
+        assert set(data) == set(FIELDS)
+
+    def test_abort_reason_serialized_as_value(self):
+        data = outcome_to_dict(sample_outcome(committed=False))
+        assert data["abort_reason"] == "proof_failed"
+        assert outcome_to_dict(sample_outcome())["abort_reason"] is None
+
+    def test_latency_derived(self):
+        assert outcome_to_dict(sample_outcome())["latency"] == 10.0
+
+
+class TestJson:
+    def test_round_trip(self):
+        outcomes = [sample_outcome(), sample_outcome(False, "t2")]
+        text = to_json(outcomes)
+        loaded = from_json(text)
+        assert len(loaded) == 2
+        assert loaded[0]["txn_id"] == "t1"
+        assert loaded[1]["abort_reason"] == "proof_failed"
+
+    def test_writes_to_stream(self):
+        stream = io.StringIO()
+        to_json([sample_outcome()], stream=stream)
+        assert json.loads(stream.getvalue())[0]["committed"] is True
+
+    def test_from_json_rejects_non_array(self):
+        with pytest.raises(ValueError):
+            from_json('{"not": "a list"}')
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        text = to_csv([sample_outcome(), sample_outcome(False, "t2")])
+        lines = text.strip().splitlines()
+        assert lines[0].split(",") == list(FIELDS)
+        assert len(lines) == 3
+
+    def test_csv_parses_back(self):
+        import csv as csv_module
+
+        text = to_csv([sample_outcome()])
+        rows = list(csv_module.DictReader(io.StringIO(text)))
+        assert rows[0]["txn_id"] == "t1"
+        assert rows[0]["protocol_messages"] == "12"
+
+    def test_empty_export_is_just_header(self):
+        text = to_csv([])
+        assert text.strip().splitlines() == [",".join(FIELDS)]

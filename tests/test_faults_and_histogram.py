@@ -1,0 +1,115 @@
+"""Tests for the fault scheduler and the text histogram."""
+
+import pytest
+
+from repro.cloud.config import CloudConfig
+from repro.core.consistency import ConsistencyLevel
+from repro.errors import AbortReason, SimulationError
+from repro.metrics.histogram import bucketize, render_histogram
+from repro.sim.network import FixedLatency
+from repro.transactions.transaction import Query, Transaction
+from repro.workloads.faults import FaultSchedule
+from repro.workloads.testbed import build_cluster
+
+VIEW = ConsistencyLevel.VIEW
+
+
+def make_cluster(seed=81):
+    config = CloudConfig(latency=FixedLatency(1.0), request_timeout=20.0)
+    return build_cluster(n_servers=2, seed=seed, config=config)
+
+
+class TestFaultScheduleValidation:
+    def test_recover_before_crash_rejected(self):
+        schedule = FaultSchedule(make_cluster())
+        with pytest.raises(SimulationError):
+            schedule.crash("s1", at=10.0, recover_at=5.0)
+
+    def test_partition_window_validated(self):
+        schedule = FaultSchedule(make_cluster())
+        with pytest.raises(SimulationError):
+            schedule.partition(("a",), ("b",), start=5.0, end=5.0)
+
+    def test_drop_rate_validated(self):
+        schedule = FaultSchedule(make_cluster())
+        with pytest.raises(SimulationError):
+            schedule.drop_window(rate=1.5, start=0.0, end=1.0)
+
+    def test_double_start_rejected(self):
+        cluster = make_cluster()
+        schedule = FaultSchedule(cluster)
+        schedule.start()
+        with pytest.raises(SimulationError):
+            schedule.start()
+
+
+class TestFaultInjection:
+    def test_crash_and_recover_cycle(self):
+        cluster = make_cluster()
+        schedule = FaultSchedule(cluster)
+        schedule.crash("s1", at=5.0, recover_at=15.0)
+        schedule.start()
+        cluster.run(until=10.0)
+        assert cluster.server("s1").is_down
+        cluster.run(until=20.0)
+        assert not cluster.server("s1").is_down
+        assert [desc for _t, desc in schedule.injected] == ["crash s1", "recover s1"]
+
+    def test_crash_during_transaction_aborts_it(self):
+        cluster = make_cluster()
+        credential = cluster.issue_role_credential("alice")
+        FaultSchedule(cluster).crash("s2", at=3.0).start()
+        txn = Transaction(
+            "t-f",
+            "alice",
+            (Query.read("q1", ["s1/x1"]), Query.read("q2", ["s2/x1"])),
+            (credential,),
+        )
+        outcome = cluster.run_transaction(txn, "punctual", VIEW)
+        assert not outcome.committed
+        assert outcome.abort_reason is AbortReason.PARTICIPANT_UNREACHABLE
+
+    def test_partition_window_cuts_and_heals(self):
+        cluster = make_cluster()
+        schedule = FaultSchedule(cluster)
+        schedule.partition(("tm1",), ("s2",), start=2.0, end=30.0)
+        schedule.start()
+        cluster.run(until=3.0)
+        assert ("tm1", "s2") in cluster.network.failed_links
+        cluster.run(until=31.0)
+        assert ("tm1", "s2") not in cluster.network.failed_links
+
+    def test_drop_window_restores_previous_rate(self):
+        cluster = make_cluster()
+        schedule = FaultSchedule(cluster)
+        schedule.drop_window(rate=0.5, start=1.0, end=5.0)
+        schedule.start()
+        cluster.run(until=2.0)
+        assert cluster.network.drop_rate == 0.5
+        cluster.run(until=6.0)
+        assert cluster.network.drop_rate == 0.0
+
+
+class TestHistogram:
+    def test_empty_values(self):
+        assert "no samples" in render_histogram([])
+
+    def test_identical_values_single_bucket(self):
+        rows = bucketize([5.0, 5.0, 5.0])
+        assert rows == [(5.0, 5.0, 3)]
+
+    def test_bucket_counts_sum_to_samples(self):
+        values = [float(v) for v in range(100)]
+        rows = bucketize(values, buckets=7)
+        assert sum(count for _l, _h, count in rows) == 100
+
+    def test_render_contains_percentiles_and_bars(self):
+        values = [1.0, 2.0, 2.0, 3.0, 10.0]
+        text = render_histogram(values, title="latency")
+        assert text.startswith("latency (5 samples")
+        assert "p95" in text
+        assert "#" in text
+
+    def test_bucket_validation(self):
+        with pytest.raises(ValueError):
+            bucketize([1.0], buckets=0)

@@ -1,0 +1,102 @@
+"""Unit tests for the open-loop workload runner."""
+
+import pytest
+
+from repro.cloud.config import CloudConfig
+from repro.core.consistency import ConsistencyLevel
+from repro.errors import SimulationError
+from repro.sim.network import FixedLatency
+from repro.transactions.transaction import Query, Transaction
+from repro.workloads.generator import poisson_arrivals
+from repro.workloads.runner import OpenLoopRunner
+from repro.workloads.testbed import build_cluster
+
+
+def make_cluster(n_tms=1, seed=61):
+    return build_cluster(
+        n_servers=2, seed=seed, config=CloudConfig(latency=FixedLatency(1.0)), n_tms=n_tms
+    )
+
+
+def simple_txns(cluster, count):
+    credential = cluster.issue_role_credential("alice")
+    return [
+        Transaction(
+            f"ol{i}",
+            "alice",
+            (Query.read(f"ol{i}-q1", ["s1/x1"]), Query.read(f"ol{i}-q2", ["s2/x1"])),
+            (credential,),
+        )
+        for i in range(count)
+    ]
+
+
+class TestOpenLoop:
+    def test_runs_all_transactions(self):
+        cluster = make_cluster()
+        txns = simple_txns(cluster, 5)
+        runner = OpenLoopRunner(cluster, "punctual")
+        outcomes = runner.run(txns, [float(i * 2) for i in range(5)])
+        assert len(outcomes) == 5
+        assert all(outcome.committed for outcome in outcomes)
+
+    def test_arrivals_respected(self):
+        cluster = make_cluster()
+        txns = simple_txns(cluster, 3)
+        runner = OpenLoopRunner(cluster, "deferred")
+        outcomes = runner.run(txns, [0.0, 10.0, 25.0])
+        started = sorted(outcome.started_at for outcome in outcomes)
+        assert started == [0.0, 10.0, 25.0]
+
+    def test_mismatched_lengths_rejected(self):
+        cluster = make_cluster()
+        runner = OpenLoopRunner(cluster, "deferred")
+        with pytest.raises(SimulationError):
+            runner.run(simple_txns(cluster, 2), [0.0])
+
+    def test_decreasing_arrivals_rejected(self):
+        cluster = make_cluster()
+        runner = OpenLoopRunner(cluster, "deferred")
+        with pytest.raises(SimulationError):
+            runner.run(simple_txns(cluster, 2), [5.0, 1.0])
+
+    def test_round_robin_across_tms(self):
+        cluster = make_cluster(n_tms=3)
+        txns = simple_txns(cluster, 6)
+        runner = OpenLoopRunner(cluster, "punctual")
+        runner.run(txns, [float(i) for i in range(6)])
+        counts = runner.per_tm_counts()
+        assert counts == {"tm1": 2, "tm2": 2, "tm3": 2}
+
+    def test_concurrent_in_flight_transactions(self):
+        """Arrivals faster than transaction latency overlap in flight."""
+        cluster = make_cluster()
+        txns = simple_txns(cluster, 4)
+        runner = OpenLoopRunner(cluster, "punctual")
+        outcomes = runner.run(txns, [0.0, 0.5, 1.0, 1.5])
+        assert len(outcomes) == 4
+        # With read locks (shared), all overlap and commit.
+        assert all(outcome.committed for outcome in outcomes)
+        spans = [(o.started_at, o.finished_at) for o in outcomes]
+        overlapping = any(
+            a_start < b_end and b_start < a_end
+            for (a_start, a_end) in spans
+            for (b_start, b_end) in spans
+            if (a_start, a_end) != (b_start, b_end)
+        )
+        assert overlapping
+
+    def test_throughput_reported(self):
+        cluster = make_cluster()
+        txns = simple_txns(cluster, 4)
+        runner = OpenLoopRunner(cluster, "punctual")
+        runner.run(txns, [0.0, 1.0, 2.0, 3.0])
+        assert runner.throughput() > 0
+
+    def test_poisson_workload_end_to_end(self):
+        cluster = make_cluster(n_tms=2, seed=62)
+        txns = simple_txns(cluster, 8)
+        arrivals = poisson_arrivals(cluster.rng.stream("arrivals"), rate=0.2, count=8)
+        runner = OpenLoopRunner(cluster, "deferred")
+        outcomes = runner.run(txns, arrivals)
+        assert len(outcomes) == 8

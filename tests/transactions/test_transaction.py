@@ -1,0 +1,112 @@
+"""Unit tests for the transaction/query model."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.policy.policy import Operation
+from repro.transactions.presumed import (
+    PRESUMED_ABORT,
+    PRESUMED_COMMIT,
+    PRESUMED_NOTHING,
+    VARIANTS,
+)
+from repro.transactions.states import Decision, TxnStatus, Vote
+from repro.transactions.transaction import (
+    EffectKind,
+    Query,
+    QueryEffect,
+    Transaction,
+    next_txn_id,
+)
+
+
+class TestQuery:
+    def test_read_factory(self):
+        query = Query.read("q1", ["a", "b"])
+        assert query.operation is Operation.READ
+        assert query.items == ("a", "b")
+
+    def test_write_with_sets_and_deltas(self):
+        query = Query.write("q1", sets={"a": 5}, deltas={"b": -2})
+        assert query.operation is Operation.WRITE
+        assert set(query.items) == {"a", "b"}
+
+    def test_write_without_effects_rejected(self):
+        with pytest.raises(StorageError):
+            Query("q1", Operation.WRITE, ("a",))
+
+    def test_read_with_effects_rejected(self):
+        with pytest.raises(StorageError):
+            Query("q1", Operation.READ, ("a",), (QueryEffect("a", EffectKind.SET, 1),))
+
+    def test_effect_outside_items_rejected(self):
+        with pytest.raises(StorageError):
+            Query("q1", Operation.WRITE, ("a",), (QueryEffect("b", EffectKind.SET, 1),))
+
+    def test_effect_application(self):
+        assert QueryEffect("a", EffectKind.SET, 9).apply(100) == 9
+        assert QueryEffect("a", EffectKind.DELTA, -3).apply(10) == 7
+
+
+class TestTransaction:
+    def test_size_is_query_count(self):
+        txn = Transaction("t", "u", (Query.read("q1", ["a"]), Query.read("q2", ["b"])))
+        assert txn.size == 2
+
+    def test_duplicate_query_ids_rejected(self):
+        with pytest.raises(StorageError):
+            Transaction("t", "u", (Query.read("q", ["a"]), Query.read("q", ["b"])))
+
+    def test_items_touched_deduplicates_in_order(self):
+        txn = Transaction(
+            "t",
+            "u",
+            (
+                Query.read("q1", ["b", "a"]),
+                Query.write("q2", deltas={"a": 1}),
+                Query.read("q3", ["c"]),
+            ),
+        )
+        assert txn.items_touched() == ("b", "a", "c")
+
+    def test_next_txn_id_unique(self):
+        assert next_txn_id() != next_txn_id()
+        assert next_txn_id("job").startswith("job-")
+
+
+class TestStates:
+    def test_terminal_states(self):
+        assert TxnStatus.COMMITTED.is_terminal
+        assert TxnStatus.ABORTED.is_terminal
+        assert not TxnStatus.ACTIVE.is_terminal
+        assert not TxnStatus.VALIDATING.is_terminal
+
+    def test_decision_and_vote_values(self):
+        assert Decision.COMMIT.value == "commit"
+        assert Vote.NO.value == "no"
+
+
+class TestCommitVariants:
+    def test_registry_contains_all_three(self):
+        assert set(VARIANTS) == {"presumed_nothing", "presumed_abort", "presumed_commit"}
+
+    def test_presumed_nothing_forces_and_acks_everything(self):
+        for decision in (Decision.COMMIT, Decision.ABORT):
+            assert PRESUMED_NOTHING.coordinator_forces(decision)
+            assert PRESUMED_NOTHING.participant_forces(decision)
+            assert PRESUMED_NOTHING.acknowledges(decision)
+        assert not PRESUMED_NOTHING.coordinator_initial_force
+
+    def test_presumed_abort_skips_abort_costs(self):
+        assert not PRESUMED_ABORT.coordinator_forces(Decision.ABORT)
+        assert not PRESUMED_ABORT.participant_forces(Decision.ABORT)
+        assert not PRESUMED_ABORT.acknowledges(Decision.ABORT)
+        # Commits stay fully durable.
+        assert PRESUMED_ABORT.coordinator_forces(Decision.COMMIT)
+        assert PRESUMED_ABORT.acknowledges(Decision.COMMIT)
+
+    def test_presumed_commit_skips_commit_acks(self):
+        assert PRESUMED_COMMIT.coordinator_initial_force
+        assert not PRESUMED_COMMIT.acknowledges(Decision.COMMIT)
+        assert not PRESUMED_COMMIT.participant_forces(Decision.COMMIT)
+        assert PRESUMED_COMMIT.acknowledges(Decision.ABORT)
