@@ -13,7 +13,8 @@ approach.  Shape claims from the paper's analysis:
 
 import pytest
 
-from repro.analysis.sweep import SweepPoint, run_point
+from repro.analysis.parallel import run_sweep
+from repro.analysis.sweep import SweepPoint
 from repro.core.consistency import ConsistencyLevel
 
 from _common import emit_table
@@ -23,23 +24,28 @@ LENGTHS = (2, 4, 6, 8)
 
 
 def collect():
-    table = {}
-    for approach in APPROACHES:
-        for length in LENGTHS:
-            result = run_point(
-                SweepPoint(
-                    approach=approach,
-                    consistency=ConsistencyLevel.VIEW,
-                    n_servers=max(3, length),
-                    txn_length=length,
-                    n_transactions=12,
-                    update_interval=None,
-                    seed=23,
-                )
+    # Fan the approach × length grid out over worker processes (results are
+    # seed-deterministic, so identical to the previous serial loop).
+    grid = [(approach, length) for approach in APPROACHES for length in LENGTHS]
+    results = run_sweep(
+        [
+            SweepPoint(
+                approach=approach,
+                consistency=ConsistencyLevel.VIEW,
+                n_servers=max(3, length),
+                txn_length=length,
+                n_transactions=12,
+                update_interval=None,
+                seed=23,
             )
-            summary = result.summary
-            assert summary.commit_rate == 1.0
-            table[(approach, length)] = (summary.mean_latency, summary.mean_messages)
+            for approach, length in grid
+        ]
+    )
+    table = {}
+    for (approach, length), result in zip(grid, results):
+        summary = result.summary
+        assert summary.commit_rate == 1.0
+        table[(approach, length)] = (summary.mean_latency, summary.mean_messages)
 
     rows = []
     for approach in APPROACHES:

@@ -14,7 +14,8 @@ and wasted time.  Shape claims:
 
 import pytest
 
-from repro.analysis.sweep import SweepPoint, run_point
+from repro.analysis.parallel import run_sweep
+from repro.analysis.sweep import SweepPoint
 from repro.core.consistency import ConsistencyLevel
 
 from _common import emit_table
@@ -23,28 +24,26 @@ APPROACHES = ("deferred", "punctual", "incremental", "continuous")
 INTERVALS = (200.0, 60.0, 25.0, 10.0)
 
 
-def run_cell(approach, interval):
-    return run_point(
-        SweepPoint(
-            approach=approach,
-            consistency=ConsistencyLevel.VIEW,
-            n_servers=4,
-            txn_length=4,
-            n_transactions=15,
-            update_interval=interval,
-            update_mode="benign",
-            seed=29,
-            config_overrides={"replication_delay": (2.0, 10.0)},
-        )
+def make_point(approach, interval):
+    return SweepPoint(
+        approach=approach,
+        consistency=ConsistencyLevel.VIEW,
+        n_servers=4,
+        txn_length=4,
+        n_transactions=15,
+        update_interval=interval,
+        update_mode="benign",
+        seed=29,
+        config_overrides={"replication_delay": (2.0, 10.0)},
     )
 
 
 def collect():
-    cells = {
-        (approach, interval): run_cell(approach, interval)
-        for approach in APPROACHES
-        for interval in INTERVALS
-    }
+    # The grid fans out over worker processes; each point is seeded, so the
+    # results (and the shape assertions below) match a serial run exactly.
+    grid = [(approach, interval) for approach in APPROACHES for interval in INTERVALS]
+    results = run_sweep([make_point(approach, interval) for approach, interval in grid])
+    cells = dict(zip(grid, results))
     rows = []
     for approach in APPROACHES:
         row = [approach]

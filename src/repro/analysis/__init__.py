@@ -7,6 +7,12 @@ from repro.analysis.accuracy import (
     oracle_for_cluster,
 )
 from repro.analysis.adaptive import AdaptiveSelector, EwmaEstimator, run_adaptive_batch
+from repro.analysis.parallel import (
+    derive_seed,
+    parallel_map,
+    run_sweep,
+    with_derived_seeds,
+)
 from repro.analysis.sweep import (
     SweepPoint,
     SweepResult,
@@ -33,9 +39,13 @@ __all__ = [
     "SweepPoint",
     "SweepResult",
     "compare_approaches",
+    "derive_seed",
     "empirical_quadrants",
+    "parallel_map",
     "recommend",
     "recommend_regime",
     "run_point",
+    "run_sweep",
     "sweep",
+    "with_derived_seeds",
 ]

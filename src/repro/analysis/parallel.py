@@ -1,0 +1,138 @@
+"""Parallel execution of sweep grids over worker processes.
+
+Sweep points are *embarrassingly parallel*: every :func:`repro.analysis.
+sweep.run_point` builds its own cluster from its own seed, so points share
+no state and their results are independent of execution order.  This
+module fans a grid out over :class:`concurrent.futures.ProcessPoolExecutor`
+while keeping the three guarantees the benches rely on:
+
+* **determinism** — each point carries its own seed (use
+  :func:`with_derived_seeds` to stamp a grid with distinct, stable,
+  index-derived seeds), so parallel and serial runs of the same grid
+  produce equal results;
+* **ordered collection** — results come back in grid order regardless of
+  which worker finishes first;
+* **graceful degradation** — a dead worker (OOM-killed, segfaulted,
+  ``os._exit``), a pool that cannot start, or an unpicklable payload all
+  fall back to in-process serial execution instead of failing the run.
+
+``REPRO_SWEEP_WORKERS`` (environment) overrides the default worker count;
+``REPRO_SWEEP_SERIAL=1`` forces serial execution everywhere, which CI can
+use on constrained runners.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import replace
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.analysis.sweep import SweepPoint, SweepResult, run_point
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+#: Environment knob: cap/override the worker-process count.
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+#: Environment knob: force serial execution (``1``/``true``/``yes``).
+SERIAL_ENV = "REPRO_SWEEP_SERIAL"
+
+
+def derive_seed(base_seed: int, index: int) -> int:
+    """A stable, well-mixed seed for grid position ``index``.
+
+    Hash-derived (not ``base_seed + index``) so neighbouring points get
+    uncorrelated RNG streams, and platform-independent so the same grid
+    reproduces across machines and Python versions.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{index}".encode("ascii")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def with_derived_seeds(
+    points: Sequence[SweepPoint], base_seed: int = 0
+) -> List[SweepPoint]:
+    """Copies of ``points`` with deterministic per-point seeds.
+
+    Point *i* gets ``derive_seed(base_seed, i)``.  Apply this once to a
+    grid before running it (serially or in parallel) when the points were
+    built without explicit seeds; grids that already carry meaningful
+    seeds should be run as-is.
+    """
+    return [
+        replace(point, seed=derive_seed(base_seed, index))
+        for index, point in enumerate(points)
+    ]
+
+
+def _serial_forced() -> bool:
+    return os.environ.get(SERIAL_ENV, "").strip().lower() in ("1", "true", "yes")
+
+
+def default_workers(n_items: int) -> int:
+    """Worker count: ``REPRO_SWEEP_WORKERS`` or ``min(n_items, cpus)``."""
+    override = os.environ.get(WORKERS_ENV, "").strip()
+    if override:
+        try:
+            return max(1, int(override))
+        except ValueError:
+            pass
+    return max(1, min(n_items, os.cpu_count() or 1))
+
+
+def parallel_map(
+    fn: Callable[[ItemT], ResultT],
+    items: Sequence[ItemT],
+    max_workers: Optional[int] = None,
+    fallback_serial: bool = True,
+) -> List[ResultT]:
+    """Apply ``fn`` to every item across worker processes, results in order.
+
+    ``fn`` and the items must be picklable (module-level function, plain
+    data).  Exceptions *raised by* ``fn`` propagate exactly as they would
+    serially.  Failures *of the machinery* — a worker process dying, the
+    pool failing to start, pickling errors — trigger a serial in-process
+    re-run of the whole sequence when ``fallback_serial`` is true (the
+    default), so callers always get a complete, ordered result list.
+    """
+    if not items:
+        return []
+    workers = max_workers if max_workers is not None else default_workers(len(items))
+    if workers <= 1 or len(items) == 1 or _serial_forced():
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            return [future.result() for future in futures]
+    except (BrokenProcessPool, OSError, pickle.PicklingError, AttributeError, ImportError):
+        if not fallback_serial:
+            raise
+        # A worker died or the pool could not be used at all (Attribute/
+        # ImportError cover payloads workers cannot unpickle, e.g. functions
+        # from script-style modules under the spawn start method); the work
+        # itself is assumed sound, so redo everything in-process.
+        return [fn(item) for item in items]
+
+
+def run_sweep(
+    points: Sequence[SweepPoint],
+    parallel: bool = True,
+    max_workers: Optional[int] = None,
+    fallback_serial: bool = True,
+) -> List[SweepResult]:
+    """Run a sweep grid, in parallel by default; results in grid order.
+
+    Equivalent to ``[run_point(p) for p in points]`` — literally so when
+    ``parallel`` is false, and observably so otherwise, because every
+    point's simulation is fully determined by its own seed.  Worker
+    crashes degrade to the serial path (see :func:`parallel_map`).
+    """
+    if not parallel:
+        return [run_point(point) for point in points]
+    return parallel_map(
+        run_point, points, max_workers=max_workers, fallback_serial=fallback_serial
+    )

@@ -4,6 +4,15 @@ Each sweep point builds a fresh cluster (fresh seed-derived streams),
 runs a batch of transactions under one approach while a policy-update
 process churns versions, and aggregates the outcomes.  Sweeps power the
 TR1/TR2/TR3 benches in ``benchmarks/``.
+
+Determinism contract: a :class:`SweepPoint` fully determines its
+:class:`SweepResult`.  All randomness flows through named streams derived
+from ``point.seed``, points share no state (every :func:`run_point` call
+assembles its own cluster), and the proof cache is transparent to
+simulated time — so re-running a point, running it cached vs. uncached,
+or running it in a worker process all yield field-for-field equal
+outcomes.  That contract is what lets :func:`repro.analysis.parallel.
+run_sweep` fan grids out over processes without changing any result.
 """
 
 from __future__ import annotations
@@ -23,7 +32,12 @@ from repro.workloads.updates import PolicyUpdateProcess
 
 @dataclass
 class SweepPoint:
-    """Configuration of one simulated condition."""
+    """Configuration of one simulated condition.
+
+    ``seed`` is the *only* source of randomness for the whole point; grids
+    built without explicit seeds can be stamped with stable per-point
+    seeds via :func:`repro.analysis.parallel.with_derived_seeds`.
+    """
 
     approach: str
     consistency: ConsistencyLevel = ConsistencyLevel.VIEW
@@ -76,6 +90,13 @@ def run_point(point: SweepPoint) -> SweepResult:
     policy-update process runs concurrently, so updates land *during*
     transaction execution whenever the update interval is comparable to or
     shorter than the transaction length — the regime Section VI-B analyses.
+
+    Deterministic in ``point`` alone: the cluster, workload, and update
+    process are all seeded from ``point.seed``, and nothing outside the
+    point is read.  Safe to call from worker processes (the function and
+    its argument/result types are picklable).  Proof caching follows
+    ``point.config_overrides["enable_proof_cache"]`` (default on); it
+    affects host CPU only, never the returned outcomes.
     """
     config = CloudConfig()
     for key, value in point.config_overrides.items():
@@ -157,17 +178,31 @@ def run_point(point: SweepPoint) -> SweepResult:
 
 
 def sweep(points: Sequence[SweepPoint]) -> List[SweepResult]:
-    """Run a list of sweep points sequentially."""
+    """Run a list of sweep points sequentially, results in grid order.
+
+    The strictly serial reference path.  For multi-core execution with the
+    same results (and a serial fallback on worker death) use
+    :func:`repro.analysis.parallel.run_sweep`.
+    """
     return [run_point(point) for point in points]
 
 
 def compare_approaches(
     base: SweepPoint,
     approaches: Sequence[str] = ("deferred", "punctual", "incremental", "continuous"),
+    parallel: bool = False,
 ) -> Dict[str, SweepResult]:
-    """Run the same condition under each approach (same seed and workload)."""
-    results: Dict[str, SweepResult] = {}
-    for name in approaches:
-        point = SweepPoint(**{**base.__dict__, "approach": name})
-        results[name] = run_point(point)
-    return results
+    """Run the same condition under each approach (same seed and workload).
+
+    With ``parallel=True`` the per-approach points fan out over worker
+    processes via :func:`repro.analysis.parallel.run_sweep`; results are
+    identical either way (each point is deterministic in its seed).
+    """
+    points = [SweepPoint(**{**base.__dict__, "approach": name}) for name in approaches]
+    if parallel:
+        from repro.analysis.parallel import run_sweep
+
+        results = run_sweep(points)
+    else:
+        results = [run_point(point) for point in points]
+    return dict(zip(approaches, results))

@@ -21,8 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.analysis.sweep import SweepPoint, SweepResult, compare_approaches
+from repro.analysis.sweep import SweepPoint, SweepResult
 from repro.core.consistency import ConsistencyLevel
+from repro.metrics.stats import aggregate
 
 APPROACHES = ("deferred", "punctual", "incremental", "continuous")
 
@@ -103,6 +104,7 @@ def empirical_quadrants(
     n_transactions: int = 25,
     seeds: Sequence[int] = (19, 7, 101),
     consistency: ConsistencyLevel = ConsistencyLevel.VIEW,
+    parallel: bool = True,
 ) -> List[QuadrantResult]:
     """Measure all four quadrants of the Section VI-B trade-off space.
 
@@ -123,6 +125,11 @@ def empirical_quadrants(
     Results aggregate over ``seeds``; replication delay is tight (2–10
     time units) so version-divergence windows are short relative to the
     update interval.
+
+    With ``parallel=True`` (the default) the full quadrant × seed ×
+    approach grid fans out over worker processes through
+    :func:`repro.analysis.parallel.run_sweep`; every point is seeded
+    explicitly, so the measured results are identical to a serial run.
     """
     quadrants = [
         ("short-txn / infrequent-updates", short_length, infrequent_interval, False),
@@ -130,35 +137,46 @@ def empirical_quadrants(
         ("short-txn / frequent-updates", short_length, frequent_interval, True),
         ("long-txn / frequent-updates", long_length, frequent_interval, True),
     ]
+    grid: List[SweepPoint] = []
+    labels: List[Tuple[str, str]] = []  # (quadrant name, approach) per point
+    for name, length, interval, frequent in quadrants:
+        for seed in seeds:
+            for approach in APPROACHES:
+                grid.append(
+                    SweepPoint(
+                        approach=approach,
+                        consistency=consistency,
+                        n_servers=max(3, length),
+                        txn_length=length,
+                        n_transactions=n_transactions,
+                        update_interval=interval,
+                        update_mode="benign" if frequent else "alternate",
+                        retry_policy_aborts=True,
+                        max_retries=5,
+                        retry_backoff=0.0 if frequent else interval / 3,
+                        seed=seed,
+                        config_overrides={"replication_delay": (2.0, 10.0)},
+                    )
+                )
+                labels.append((name, approach))
+
+    from repro.analysis.parallel import run_sweep
+
+    results = run_sweep(grid, parallel=parallel)
+
     out: List[QuadrantResult] = []
     for name, length, interval, frequent in quadrants:
         merged: Dict[str, SweepResult] = {}
-        for seed in seeds:
-            base = SweepPoint(
-                approach="deferred",
-                consistency=consistency,
-                n_servers=max(3, length),
-                txn_length=length,
-                n_transactions=n_transactions,
-                update_interval=interval,
-                update_mode="benign" if frequent else "alternate",
-                retry_policy_aborts=True,
-                max_retries=5,
-                retry_backoff=0.0 if frequent else interval / 3,
-                seed=seed,
-                config_overrides={"replication_delay": (2.0, 10.0)},
-            )
-            results = compare_approaches(base, APPROACHES)
-            for approach, result in results.items():
-                if approach not in merged:
-                    merged[approach] = result
-                else:
-                    combined = merged[approach].outcomes + result.outcomes
-                    from repro.metrics.stats import aggregate
-
-                    merged[approach] = SweepResult(
-                        result.point, combined, aggregate(combined)
-                    )
+        for (point_name, approach), result in zip(labels, results):
+            if point_name != name:
+                continue
+            if approach not in merged:
+                merged[approach] = result
+            else:
+                combined = merged[approach].outcomes + result.outcomes
+                merged[approach] = SweepResult(
+                    result.point, combined, aggregate(combined)
+                )
         pair = ("incremental", "continuous") if frequent else ("deferred", "punctual")
         out.append(
             QuadrantResult(

@@ -70,6 +70,15 @@ class CloudConfig:
     server_concurrency: Optional[int] = None
     #: Safety valve on validation rounds (None = unbounded, as in the paper).
     max_validation_rounds: Optional[int] = 50
+    #: Memoize proof evaluations per server (version-aware, invalidated on
+    #: policy installs and credential revocations).  Transparent to
+    #: simulated time and Table I counters — a hit still spends
+    #: ``proof_evaluation_time`` and counts as an evaluation — so outcomes
+    #: are bit-identical with the cache on or off; it only saves host CPU.
+    #: See docs/performance.md.
+    enable_proof_cache: bool = True
+    #: Max cached proof entries per server (None = unbounded, LRU otherwise).
+    proof_cache_capacity: Optional[int] = None
 
     def scaled(self, factor: float) -> "CloudConfig":
         """A copy with every local service time scaled by ``factor``."""

@@ -28,6 +28,7 @@ from repro.metrics.timeline import PROOF_EVAL
 from repro.policy.credentials import CARegistry, CertificateAuthority, Credential
 from repro.policy.ocsp import fetch_statuses
 from repro.policy.policy import Operation, Policy, PolicyId
+from repro.policy.proofcache import ProofCache
 from repro.policy.proofs import (
     LocalRevocationChecker,
     PrefetchedStatuses,
@@ -96,6 +97,20 @@ class CloudServer(Node):
         #: This server's own credential-issuing identity (capabilities).
         self.authority = CertificateAuthority(f"{name}-authority")
         registry.add(self.authority)
+        #: Version-aware proof-evaluation memo (None when disabled).  The
+        #: invalidation hooks keep it consistent: policy installs drop the
+        #: domain's entries, revocations drop entries using the credential.
+        self.proof_cache: Optional[ProofCache] = None
+        if config.enable_proof_cache:
+            self.proof_cache = ProofCache(
+                stats=metrics.proof_cache,
+                server=name,
+                capacity=config.proof_cache_capacity,
+            )
+            self.policies.subscribe(self.proof_cache.invalidate_policy)
+            registry.subscribe_revocations(
+                lambda record: self.proof_cache.invalidate_credential(record.cred_id)
+            )
 
     # Nodes get their env at registration time; the lock manager needs it.
     def _lock_manager(self) -> LockManager:
@@ -282,7 +297,10 @@ class CloudServer(Node):
         """Evaluate one proof of authorization.
 
         Uses ``policy`` when given (a snapshot pinned by the caller) and the
-        latest locally installed policy otherwise.
+        latest locally installed policy otherwise.  Routes through the
+        proof cache when enabled; a cached hit is semantically identical
+        (same verdict, same simulated cost) but skips the host-side
+        signature and derivation work.
         """
         if self.config.use_online_ocsp:
             statuses = yield from fetch_statuses(
@@ -294,7 +312,10 @@ class CloudServer(Node):
         yield from self._consume_cpu(self.config.proof_evaluation_time)
         if policy is None:
             policy = self.policies.current(executed.admin)
-        proof = evaluate_proof(
+        evaluator = (
+            self.proof_cache.evaluate if self.proof_cache is not None else evaluate_proof
+        )
+        proof = evaluator(
             policy=policy,
             query_id=executed.query.query_id,
             user=executed.user,

@@ -82,12 +82,56 @@ class ProofCounters:
         return self.by_txn[txn_id]
 
 
+class ProofCacheCounters:
+    """Hit/miss/invalidation accounting for the proof-evaluation cache.
+
+    Every ``eval(f, t)`` still counts in :class:`ProofCounters` (the cache
+    is transparent to Table I complexity accounting); these counters report
+    how much *host* work the cache saved and how often invalidation hooks
+    fired.  A *bypass* is an evaluation the cache declined to serve or store
+    (e.g. an uncacheable revocation checker).
+    """
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.bypasses = 0
+        self.invalidations = 0
+        self.hits_by_server: Counter = Counter()
+        self.misses_by_server: Counter = Counter()
+
+    def on_hit(self, server: str) -> None:
+        self.hits += 1
+        self.hits_by_server[server] += 1
+
+    def on_miss(self, server: str) -> None:
+        self.misses += 1
+        self.misses_by_server[server] += 1
+
+    def on_bypass(self, server: str) -> None:
+        self.bypasses += 1
+
+    def on_invalidation(self, server: str, entries_dropped: int = 1) -> None:
+        self.invalidations += entries_dropped
+
+    @property
+    def lookups(self) -> int:
+        """Cacheable evaluations (hits + misses; bypasses excluded)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cacheable evaluations served from the cache."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
 class Metrics:
     """Bundle of all counters for one simulation."""
 
     def __init__(self) -> None:
         self.messages = MessageCounters()
         self.proofs = ProofCounters()
+        self.proof_cache = ProofCacheCounters()
 
     # convenience used as the network hook directly
     def on_message(self, message: Message) -> None:

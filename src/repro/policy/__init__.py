@@ -7,6 +7,7 @@
 * :mod:`repro.policy.store` — per-server policy stores.
 * :mod:`repro.policy.admin` — policy administrators (authoritative versions).
 * :mod:`repro.policy.proofs` — proof-of-authorization evaluation (``eval(f, t)``).
+* :mod:`repro.policy.proofcache` — version-aware memoization of ``eval(f, t)``.
 """
 
 from repro.policy.admin import PolicyAdministrator
@@ -26,6 +27,7 @@ from repro.policy.parser import (
     render_rules,
 )
 from repro.policy.policy import GUARD_PREDICATES, Operation, Policy, PolicyId, ver
+from repro.policy.proofcache import ProofCache
 from repro.policy.proofs import (
     CredentialAssessment,
     LocalRevocationChecker,
@@ -52,6 +54,7 @@ __all__ = [
     "PolicyAdministrator",
     "PolicyId",
     "PrefetchedStatuses",
+    "ProofCache",
     "ProofNode",
     "ProofOfAuthorization",
     "RevocationChecker",

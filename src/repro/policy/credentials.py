@@ -19,7 +19,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import CredentialError
 from repro.policy.rules import Atom
@@ -89,6 +89,16 @@ class CertificateAuthority:
         self._issued: Dict[str, Credential] = {}
         self._revocations: Dict[str, RevocationRecord] = {}
         self._serial = itertools.count(1)
+        self._revocation_listeners: List[Callable[[RevocationRecord], object]] = []
+
+    def subscribe_revocations(self, listener: Callable[[RevocationRecord], object]) -> None:
+        """Register a callback fired on every effective revocation.
+
+        Fired when :meth:`revoke` records a new (or earlier) revocation —
+        i.e. exactly when the answer of :meth:`status_clean_over` may
+        change.  The proof cache invalidates through this hook.
+        """
+        self._revocation_listeners.append(listener)
 
     # -- issuing -------------------------------------------------------------
 
@@ -130,7 +140,10 @@ class CertificateAuthority:
         existing = self._revocations.get(cred_id)
         if existing is not None and existing.revoked_at <= at_time:
             return  # already revoked earlier; keep the earliest record
-        self._revocations[cred_id] = RevocationRecord(cred_id, at_time, reason)
+        record = RevocationRecord(cred_id, at_time, reason)
+        self._revocations[cred_id] = record
+        for listener in self._revocation_listeners:
+            listener(record)
 
     def revocation(self, cred_id: str) -> Optional[RevocationRecord]:
         """The revocation record, if any."""
@@ -169,6 +182,7 @@ class CARegistry:
 
     def __init__(self, authorities: Iterable[CertificateAuthority] = ()) -> None:
         self._authorities: Dict[str, CertificateAuthority] = {}
+        self._revocation_listeners: List[Callable[[RevocationRecord], object]] = []
         for authority in authorities:
             self.add(authority)
 
@@ -176,7 +190,20 @@ class CARegistry:
         if authority.name in self._authorities:
             raise CredentialError(f"duplicate CA name {authority.name!r}")
         self._authorities[authority.name] = authority
+        for listener in self._revocation_listeners:
+            authority.subscribe_revocations(listener)
         return authority
+
+    def subscribe_revocations(self, listener: Callable[[RevocationRecord], object]) -> None:
+        """Fan a revocation listener out to every current *and future* CA.
+
+        Verifiers that cache semantic-validity results (the proof cache)
+        subscribe here once and hear about revocations registry-wide, no
+        matter which authority issues them.
+        """
+        self._revocation_listeners.append(listener)
+        for authority in self._authorities.values():
+            authority.subscribe_revocations(listener)
 
     def get(self, name: str) -> Optional[CertificateAuthority]:
         return self._authorities.get(name)

@@ -1,0 +1,282 @@
+"""Version-aware memoization of proof-of-authorization evaluation.
+
+The four enforcement approaches differ precisely in *how often* proofs are
+(re)evaluated: Continuous re-proves every earlier query after each new
+operation, Deferred and Punctual re-prove everything at commit, and extra
+2PV validation rounds re-prove again after policy updates (Table I).  Each
+of those evaluations is a pure function of
+
+* the policy (id **and version** — versions are the paper's consistency
+  currency, so they are first-class in the key),
+* the query content (user, operation, touched items),
+* the set of presented credentials, and
+* the revocation checker's knowledge
+  (:meth:`~repro.policy.proofs.RevocationChecker.cache_token`),
+
+plus the evaluation time ``now``.  Time only matters when it crosses a
+credential *validity boundary* (issue instant, expiry instant, revocation
+instant), so a cached verdict may be replayed for any ``now`` inside the
+boundary-free window around the original evaluation.  :class:`ProofCache`
+memoizes on exactly that key and window, which is why caching can never
+change a 2PV/2PVC vote — see ``docs/performance.md`` for the full safety
+argument.
+
+Explicit invalidation hooks keep the cache honest against the two external
+mutations that *can* change verdicts without any key changing:
+
+* **policy installs** — :meth:`repro.policy.store.PolicyStore.subscribe`
+  calls :meth:`ProofCache.invalidate_policy` whenever a newer version is
+  installed (old-version entries could no longer hit — their key pins the
+  version — but dropping them bounds memory and keeps accounting exact);
+* **credential revocations** — :meth:`repro.policy.credentials.CARegistry.
+  subscribe_revocations` calls :meth:`ProofCache.invalidate_credential`,
+  dropping every entry whose credential set contains the revoked id.
+
+The cache is deliberately **transparent to the simulation**: a hit still
+consumes the configured ``proof_evaluation_time`` of simulated time and
+still increments the Table I proof counters.  What it saves is *host* CPU
+(signature hashing + derivation-tree search), which is what the wall-clock
+benchmarks measure.  Enable/disable via
+:attr:`repro.cloud.config.CloudConfig.enable_proof_cache`.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, Iterator, Optional, Sequence, Set, Tuple
+
+from repro.policy.credentials import CARegistry, Credential
+from repro.policy.policy import Operation, Policy, PolicyId
+from repro.policy.proofs import (
+    LocalRevocationChecker,
+    ProofOfAuthorization,
+    RevocationChecker,
+    evaluate_proof,
+)
+
+#: (policy id, policy version, user, operation, items, credential ids,
+#:  revocation-checker identity) — everything a verdict depends on besides
+#: the position of ``now`` relative to credential validity boundaries.
+CacheKey = Tuple[
+    PolicyId, int, str, Operation, Tuple[str, ...], FrozenSet[str], object
+]
+
+
+@dataclass
+class _Entry:
+    """One memoized evaluation with its temporal validity window."""
+
+    proof: ProofOfAuthorization
+    #: Verdicts are constant for ``window_start <= now < window_end``.
+    window_start: float
+    window_end: float
+
+
+class ProofCache:
+    """Per-server memo table for :func:`repro.policy.proofs.evaluate_proof`.
+
+    ``stats`` is duck-typed (``on_hit``/``on_miss``/``on_bypass``/
+    ``on_invalidation``, each taking the server name); pass
+    :class:`repro.metrics.counters.ProofCacheCounters` to export hit/miss/
+    invalidation counts, or ``None`` to run unmetered.  ``capacity`` bounds
+    the entry count with LRU eviction (``None`` = unbounded; simulations
+    are finite, but long-running sweeps may want a ceiling).
+    """
+
+    def __init__(
+        self,
+        stats: Optional[object] = None,
+        server: str = "",
+        capacity: Optional[int] = None,
+    ) -> None:
+        self.stats = stats
+        self.server = server
+        self.capacity = capacity
+        self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
+        self._keys_by_policy: Dict[PolicyId, Set[CacheKey]] = {}
+        self._keys_by_credential: Dict[str, Set[CacheKey]] = {}
+
+    # -- the memoized entry point -------------------------------------------------
+
+    def evaluate(
+        self,
+        policy: Policy,
+        query_id: str,
+        user: str,
+        operation: Operation,
+        items: Sequence[str],
+        credentials: Sequence[Credential],
+        server: str,
+        now: float,
+        registry: CARegistry,
+        revocation: Optional[RevocationChecker] = None,
+    ) -> ProofOfAuthorization:
+        """``evaluate_proof`` with memoization; verdict-identical to it.
+
+        On a hit, the cached record is replayed with the caller's fresh
+        ``query_id``, ``server``, and ``evaluated_at`` (those fields don't
+        influence the verdict).  Anything that can't be keyed safely — an
+        uncacheable checker, a malformed credential object — bypasses the
+        cache and evaluates directly.
+        """
+        revocation = revocation or LocalRevocationChecker(registry)
+        key = self._key(policy, user, operation, items, credentials, revocation)
+        if key is None:
+            if self.stats is not None:
+                self.stats.on_bypass(self.server)
+            return evaluate_proof(
+                policy, query_id, user, operation, items, credentials,
+                server, now, registry, revocation,
+            )
+
+        entry = self._entries.get(key)
+        if entry is not None and entry.window_start <= now < entry.window_end:
+            self._entries.move_to_end(key)
+            if self.stats is not None:
+                self.stats.on_hit(self.server)
+            return replace(
+                entry.proof, query_id=query_id, server=server, evaluated_at=now
+            )
+
+        proof = evaluate_proof(
+            policy, query_id, user, operation, items, credentials,
+            server, now, registry, revocation,
+        )
+        window_start, window_end = self._validity_window(credentials, now, revocation)
+        self._store(key, _Entry(proof, window_start, window_end))
+        if self.stats is not None:
+            self.stats.on_miss(self.server)
+        return proof
+
+    # -- invalidation hooks ----------------------------------------------------------
+
+    def invalidate_policy(self, policy: Policy) -> int:
+        """Drop every entry for ``policy``'s administrative domain.
+
+        Wired to :meth:`PolicyStore.subscribe`; fires when a newer version
+        is installed.  Returns the number of entries dropped.
+        """
+        keys = self._keys_by_policy.pop(policy.policy_id, set())
+        return self._drop(keys)
+
+    def invalidate_credential(self, cred_id: str) -> int:
+        """Drop every entry whose credential set contains ``cred_id``.
+
+        Wired to :meth:`CARegistry.subscribe_revocations`; revocation is
+        the one mutation that changes a verdict while every key component
+        stays equal, so this hook is load-bearing for correctness.
+        """
+        keys = self._keys_by_credential.pop(cred_id, set())
+        return self._drop(keys)
+
+    def clear(self) -> int:
+        """Drop everything (counted as invalidations)."""
+        count = len(self._entries)
+        self._entries.clear()
+        self._keys_by_policy.clear()
+        self._keys_by_credential.clear()
+        if count and self.stats is not None:
+            self.stats.on_invalidation(self.server, count)
+        return count
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- internals ------------------------------------------------------------------
+
+    def _key(
+        self,
+        policy: Policy,
+        user: str,
+        operation: Operation,
+        items: Sequence[str],
+        credentials: Sequence[Credential],
+        revocation: RevocationChecker,
+    ) -> Optional[CacheKey]:
+        token = revocation.cache_token()
+        if token is None:
+            return None
+        cred_ids = []
+        for credential in credentials:
+            if not isinstance(credential, Credential):
+                return None  # malformed objects: fail open to direct evaluation
+            cred_ids.append(credential.cred_id)
+        return (
+            policy.policy_id,
+            policy.version,
+            user,
+            operation,
+            tuple(items),
+            frozenset(cred_ids),
+            token,
+        )
+
+    @staticmethod
+    def _boundaries(
+        credential: Credential, revocation: RevocationChecker
+    ) -> Iterator[float]:
+        yield credential.issued_at
+        if credential.expires_at != float("inf"):
+            yield credential.expires_at
+        revoked_at = revocation.revocation_boundary(credential)
+        if revoked_at is not None:
+            yield revoked_at
+
+    def _validity_window(
+        self,
+        credentials: Sequence[Credential],
+        now: float,
+        revocation: RevocationChecker,
+    ) -> Tuple[float, float]:
+        """Largest ``[start, end)`` around ``now`` free of validity flips.
+
+        Every validity predicate flips exactly *at* its boundary b (valid
+        from ``issued_at``, expired from ``expires_at``, revoked from
+        ``revoked_at``), so verdicts are constant on the half-open interval
+        between the nearest boundary at-or-before ``now`` and the nearest
+        one strictly after it.
+        """
+        start, end = float("-inf"), float("inf")
+        for credential in credentials:
+            for boundary in self._boundaries(credential, revocation):
+                if boundary <= now:
+                    start = max(start, boundary)
+                else:
+                    end = min(end, boundary)
+        return start, end
+
+    def _store(self, key: CacheKey, entry: _Entry) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = entry
+        self._keys_by_policy.setdefault(key[0], set()).add(key)
+        for cred_id in key[5]:
+            self._keys_by_credential.setdefault(cred_id, set()).add(key)
+        if self.capacity is not None:
+            while len(self._entries) > self.capacity:
+                evicted, _ = self._entries.popitem(last=False)
+                self._unindex(evicted)
+
+    def _drop(self, keys: Set[CacheKey]) -> int:
+        dropped = 0
+        for key in keys:
+            if self._entries.pop(key, None) is not None:
+                dropped += 1
+            self._unindex(key)
+        if dropped and self.stats is not None:
+            self.stats.on_invalidation(self.server, dropped)
+        return dropped
+
+    def _unindex(self, key: CacheKey) -> None:
+        policy_keys = self._keys_by_policy.get(key[0])
+        if policy_keys is not None:
+            policy_keys.discard(key)
+            if not policy_keys:
+                self._keys_by_policy.pop(key[0], None)
+        for cred_id in key[5]:
+            cred_keys = self._keys_by_credential.get(cred_id)
+            if cred_keys is not None:
+                cred_keys.discard(key)
+                if not cred_keys:
+                    self._keys_by_credential.pop(cred_id, None)

@@ -9,6 +9,15 @@ are satisfiable from those credentials.
 :func:`evaluate_proof` performs the evaluation and returns a
 :class:`ProofOfAuthorization` — an immutable record including the derivation
 trees, suitable for storing in a transaction's view (Definition 1).
+
+Evaluation is **deterministic**: the verdict is a pure function of the
+policy (id + version + rules), the query content (user, operation, items),
+the presented credentials, the revocation checker's knowledge, and the
+evaluation time ``now``.  No randomness is drawn, so two calls with equal
+inputs return field-for-field equal records.  That purity is what makes the
+version-aware cache in :mod:`repro.policy.proofcache` safe: it memoizes
+results keyed on exactly those inputs and the time window over which no
+credential crosses a validity boundary (see :class:`ProofCache`).
 """
 
 from __future__ import annotations
@@ -37,6 +46,26 @@ class RevocationChecker(abc.ABC):
     def check(self, credential: Credential, relied_at: float, now: float) -> Tuple[bool, str]:
         """Return ``(clean, reason)`` for ``credential`` over ``[relied_at, now]``."""
 
+    def cache_token(self) -> Optional[object]:
+        """Hashable identity of this checker's knowledge, for cache keying.
+
+        Two checkers with equal tokens must answer :meth:`check` identically
+        for every credential and time.  Returning ``None`` (the default)
+        marks the checker *uncacheable*: :class:`repro.policy.proofcache.
+        ProofCache` bypasses memoization entirely, which is always safe.
+        """
+        return None
+
+    def revocation_boundary(self, credential: Credential) -> Optional[float]:
+        """Earliest time at/after which this checker reports ``credential``
+        revoked, or ``None`` when no revocation is known.
+
+        The proof cache uses this to bound an entry's validity window:
+        cached verdicts must not be replayed across the instant a
+        revocation takes effect.
+        """
+        return None
+
 
 class LocalRevocationChecker(RevocationChecker):
     """Synchronous oracle backed by the CA registry."""
@@ -46,6 +75,19 @@ class LocalRevocationChecker(RevocationChecker):
 
     def check(self, credential: Credential, relied_at: float, now: float) -> Tuple[bool, str]:
         return self.registry.semantically_valid(credential, relied_at, now)
+
+    def cache_token(self) -> Optional[object]:
+        # The registry is mutable shared state, but revocations — the only
+        # mutations affecting check() — fire the cache's invalidation hook,
+        # so identity of the registry object is a sound token.
+        return ("local", id(self.registry))
+
+    def revocation_boundary(self, credential: Credential) -> Optional[float]:
+        authority = self.registry.get(credential.issuer)
+        if authority is None:
+            return None
+        record = authority.revocation(credential.cred_id)
+        return record.revoked_at if record is not None else None
 
 
 class PrefetchedStatuses(RevocationChecker):
@@ -63,6 +105,11 @@ class PrefetchedStatuses(RevocationChecker):
         if clean is None:
             return False, "status_unavailable"
         return (True, "ok") if clean else (False, "revoked")
+
+    def cache_token(self) -> Optional[object]:
+        # A frozen snapshot: answers depend only on the fetched map, so the
+        # map's content is the checker's whole identity.
+        return ("prefetched", frozenset(self.statuses.items()))
 
 
 @dataclass(frozen=True)
@@ -131,7 +178,14 @@ def assess_credentials(
     revocation: RevocationChecker,
     now: float,
 ) -> List[CredentialAssessment]:
-    """Run syntactic + semantic validity over each presented credential."""
+    """Run syntactic + semantic validity over each presented credential.
+
+    Deterministic and side-effect free: assessments are returned in
+    presentation order, and the verdict for a credential can only change
+    when ``now`` crosses one of its validity boundaries (``issued_at``,
+    ``expires_at``, or a revocation instant) — the fact the proof cache's
+    validity windows rely on.
+    """
     assessments: List[CredentialAssessment] = []
     for credential in credentials:
         syntactic_ok, reason = registry.syntactically_valid(credential, now)
@@ -164,6 +218,15 @@ def evaluate_proof(
     The two validity cases of Section III-A are applied in order: invalid
     credentials are discarded (never contributing facts), then each touched
     item's access goal must be derivable from the surviving credentials.
+
+    This is the *uncached* ground-truth path.  It draws no randomness and
+    mutates nothing, so the result is fully determined by its arguments;
+    callers that evaluate the same ``(policy version, query content,
+    credentials, checker)`` repeatedly — Continuous re-proves on every
+    operation, Deferred re-proves everything at commit — can route through
+    :meth:`repro.policy.proofcache.ProofCache.evaluate`, which calls this
+    function on misses and is guaranteed to return verdict-identical
+    records on hits.
     """
     revocation = revocation or LocalRevocationChecker(registry)
     assessments = assess_credentials(credentials, registry, revocation, now)

@@ -9,10 +9,13 @@ the paper's protocols detect and repair.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import PolicyError
 from repro.policy.policy import Policy, PolicyId
+
+#: Callback fired after a policy install changes the store.
+InstallListener = Callable[[Policy], object]
 
 
 class PolicyStore:
@@ -20,19 +23,32 @@ class PolicyStore:
 
     def __init__(self, policies: Iterable[Policy] = ()) -> None:
         self._policies: Dict[PolicyId, Policy] = {}
+        self._listeners: List[InstallListener] = []
         for policy in policies:
             self.apply(policy)
+
+    def subscribe(self, listener: InstallListener) -> None:
+        """Register a callback fired whenever :meth:`apply` installs.
+
+        Listeners only see *effective* installs (newer versions), never the
+        stale/duplicate deliveries :meth:`apply` ignores.  The proof cache
+        hooks its version invalidation here.
+        """
+        self._listeners.append(listener)
 
     def apply(self, policy: Policy) -> bool:
         """Install ``policy`` if it is newer than what is already held.
 
         Returns ``True`` when the store changed.  Stale or duplicate
         versions are ignored (replication may deliver out of order).
+        Effective installs notify every :meth:`subscribe`\\ d listener.
         """
         current = self._policies.get(policy.policy_id)
         if current is not None and current.version >= policy.version:
             return False
         self._policies[policy.policy_id] = policy
+        for listener in self._listeners:
+            listener(policy)
         return True
 
     def current(self, policy_id: PolicyId) -> Policy:

@@ -1,0 +1,246 @@
+"""Unit tests for the version-aware proof-evaluation cache."""
+
+import pytest
+
+from repro.metrics.counters import ProofCacheCounters
+from repro.policy.credentials import CARegistry, CertificateAuthority
+from repro.policy.policy import Operation, Policy, PolicyId
+from repro.policy.proofcache import ProofCache
+from repro.policy.proofs import (
+    LocalRevocationChecker,
+    PrefetchedStatuses,
+    evaluate_proof,
+)
+from repro.policy.rules import Atom, Rule, RuleSet, Variable
+from repro.policy.store import PolicyStore
+
+U, I = Variable("U"), Variable("I")
+
+
+def member_policy(version=1):
+    rules = RuleSet(
+        [
+            Rule(Atom("may_read", (U, I)), (Atom("role", (U, "member")), Atom("item", (I,)))),
+            Rule(Atom("item", ("inventory",))),
+            Rule(Atom("item", ("ledger",))),
+        ]
+    )
+    return Policy(PolicyId("app"), version, rules)
+
+
+@pytest.fixture
+def ca():
+    return CertificateAuthority("ca")
+
+
+@pytest.fixture
+def registry(ca):
+    return CARegistry([ca])
+
+
+@pytest.fixture
+def stats():
+    return ProofCacheCounters()
+
+
+@pytest.fixture
+def cache(stats):
+    return ProofCache(stats=stats, server="s1")
+
+
+def cached_eval(cache, policy, registry, credentials, *, now=5.0, item="inventory",
+                query_id="q1", operation=Operation.READ, revocation=None):
+    return cache.evaluate(
+        policy=policy,
+        query_id=query_id,
+        user="bob",
+        operation=operation,
+        items=[item],
+        credentials=credentials,
+        server="s1",
+        now=now,
+        registry=registry,
+        revocation=revocation,
+    )
+
+
+class TestHitsAndMisses:
+    def test_repeat_evaluation_hits(self, ca, registry, cache, stats):
+        cred = ca.issue("bob", Atom("role", ("bob", "member")), 0.0)
+        policy = member_policy()
+        first = cached_eval(cache, policy, registry, [cred], now=5.0)
+        second = cached_eval(cache, policy, registry, [cred], now=6.0, query_id="q2")
+        assert (stats.misses, stats.hits) == (1, 1)
+        assert second.granted is first.granted is True
+        # Replayed fields are refreshed; verdict fields are identical.
+        assert second.query_id == "q2" and second.evaluated_at == 6.0
+        assert second.derivations == first.derivations
+        assert second.assessments == first.assessments
+
+    def test_hit_matches_uncached_verdict(self, ca, registry, cache):
+        cred = ca.issue("bob", Atom("role", ("bob", "member")), 0.0)
+        policy = member_policy()
+        cached_eval(cache, policy, registry, [cred], now=5.0)
+        hit = cached_eval(cache, policy, registry, [cred], now=6.0)
+        fresh = evaluate_proof(
+            policy, "q1", "bob", Operation.READ, ["inventory"], [cred],
+            "s1", 6.0, registry,
+        )
+        assert hit == fresh
+
+    def test_different_version_misses(self, ca, registry, cache, stats):
+        cred = ca.issue("bob", Atom("role", ("bob", "member")), 0.0)
+        cached_eval(cache, member_policy(1), registry, [cred])
+        cached_eval(cache, member_policy(2), registry, [cred])
+        assert stats.misses == 2 and stats.hits == 0
+
+    def test_different_item_or_credentials_miss(self, ca, registry, cache, stats):
+        cred = ca.issue("bob", Atom("role", ("bob", "member")), 0.0)
+        other = ca.issue("bob", Atom("role", ("bob", "auditor")), 0.0)
+        policy = member_policy()
+        cached_eval(cache, policy, registry, [cred])
+        cached_eval(cache, policy, registry, [cred], item="ledger")
+        cached_eval(cache, policy, registry, [cred, other])
+        assert stats.misses == 3 and stats.hits == 0
+
+    def test_credential_order_is_irrelevant(self, ca, registry, cache, stats):
+        a = ca.issue("bob", Atom("role", ("bob", "member")), 0.0)
+        b = ca.issue("bob", Atom("role", ("bob", "auditor")), 0.0)
+        policy = member_policy()
+        first = cached_eval(cache, policy, registry, [a, b])
+        second = cached_eval(cache, policy, registry, [b, a])
+        assert stats.hits == 1
+        assert second.granted is first.granted
+
+    def test_malformed_credential_bypasses(self, registry, cache, stats):
+        # Non-Credential objects can't be keyed; the cache fails open to
+        # direct evaluation, which surfaces the same error it always did.
+        with pytest.raises(AttributeError):
+            cached_eval(cache, member_policy(), registry, ["not-a-credential"])
+        assert stats.bypasses == 1 and stats.misses == 0
+        assert len(cache) == 0
+
+
+class TestValidityWindows:
+    def test_hit_blocked_across_expiry(self, ca, registry, cache, stats):
+        cred = ca.issue("bob", Atom("role", ("bob", "member")), 0.0, expires_at=10.0)
+        policy = member_policy()
+        assert cached_eval(cache, policy, registry, [cred], now=5.0).granted
+        # Same key, but now is past the expiry boundary: must re-evaluate.
+        late = cached_eval(cache, policy, registry, [cred], now=11.0)
+        assert not late.granted
+        assert stats.hits == 0 and stats.misses == 2
+
+    def test_hit_blocked_before_issue(self, ca, registry, cache, stats):
+        cred = ca.issue("bob", Atom("role", ("bob", "member")), issued_at=4.0)
+        policy = member_policy()
+        assert not cached_eval(cache, policy, registry, [cred], now=2.0).granted
+        assert cached_eval(cache, policy, registry, [cred], now=5.0).granted
+        assert stats.misses == 2
+
+    def test_known_revocation_bounds_window(self, ca, registry, cache, stats):
+        cred = ca.issue("bob", Atom("role", ("bob", "member")), 0.0)
+        ca.revoke(cred.cred_id, at_time=8.0)
+        policy = member_policy()
+        assert cached_eval(cache, policy, registry, [cred], now=5.0).granted
+        assert not cached_eval(cache, policy, registry, [cred], now=9.0).granted
+        assert stats.misses == 2
+
+    def test_hit_within_window(self, ca, registry, cache, stats):
+        cred = ca.issue("bob", Atom("role", ("bob", "member")), 0.0, expires_at=10.0)
+        policy = member_policy()
+        cached_eval(cache, policy, registry, [cred], now=5.0)
+        assert cached_eval(cache, policy, registry, [cred], now=9.9).granted
+        assert stats.hits == 1
+
+
+class TestInvalidation:
+    def test_policy_install_invalidates_via_store(self, ca, registry, cache, stats):
+        store = PolicyStore([member_policy(1)])
+        store.subscribe(cache.invalidate_policy)
+        cred = ca.issue("bob", Atom("role", ("bob", "member")), 0.0)
+        cached_eval(cache, store.current(PolicyId("app")), registry, [cred])
+        assert len(cache) == 1
+        assert store.apply(member_policy(2))
+        assert len(cache) == 0
+        assert stats.invalidations == 1
+
+    def test_stale_install_does_not_invalidate(self, ca, registry, cache, stats):
+        store = PolicyStore([member_policy(3)])
+        store.subscribe(cache.invalidate_policy)
+        cred = ca.issue("bob", Atom("role", ("bob", "member")), 0.0)
+        cached_eval(cache, store.current(PolicyId("app")), registry, [cred])
+        assert not store.apply(member_policy(2))  # out-of-order replication
+        assert len(cache) == 1 and stats.invalidations == 0
+
+    def test_revocation_invalidates_via_registry(self, ca, registry, cache, stats):
+        registry.subscribe_revocations(
+            lambda record: cache.invalidate_credential(record.cred_id)
+        )
+        cred = ca.issue("bob", Atom("role", ("bob", "member")), 0.0)
+        other = ca.issue("bob", Atom("role", ("bob", "auditor")), 0.0)
+        policy = member_policy()
+        cached_eval(cache, policy, registry, [cred])
+        cached_eval(cache, policy, registry, [other])
+        ca.revoke(cred.cred_id, at_time=6.0)
+        assert stats.invalidations == 1
+        assert len(cache) == 1  # the entry not using the revoked credential
+        # Post-revocation evaluation reflects the new truth.
+        assert not cached_eval(cache, policy, registry, [cred], now=7.0).granted
+
+    def test_registry_subscription_covers_future_authorities(self, registry, cache):
+        registry.subscribe_revocations(
+            lambda record: cache.invalidate_credential(record.cred_id)
+        )
+        late_ca = CertificateAuthority("late")
+        registry.add(late_ca)
+        cred = late_ca.issue("bob", Atom("role", ("bob", "member")), 0.0)
+        cached_eval(cache, member_policy(), registry, [cred])
+        assert len(cache) == 1
+        late_ca.revoke(cred.cred_id, 1.0)
+        assert len(cache) == 0
+
+    def test_clear_counts_invalidations(self, ca, registry, cache, stats):
+        cred = ca.issue("bob", Atom("role", ("bob", "member")), 0.0)
+        cached_eval(cache, member_policy(), registry, [cred])
+        assert cache.clear() == 1
+        assert stats.invalidations == 1
+
+
+class TestCheckerIdentity:
+    def test_prefetched_statuses_key_on_content(self, ca, registry, cache, stats):
+        cred = ca.issue("bob", Atom("role", ("bob", "member")), 0.0)
+        policy = member_policy()
+        clean = PrefetchedStatuses({cred.cred_id: True})
+        clean_again = PrefetchedStatuses({cred.cred_id: True})
+        revoked = PrefetchedStatuses({cred.cred_id: False})
+        assert cached_eval(cache, policy, registry, [cred], revocation=clean).granted
+        assert cached_eval(cache, policy, registry, [cred], revocation=clean_again).granted
+        assert stats.hits == 1  # equal content, fresh object
+        assert not cached_eval(cache, policy, registry, [cred], revocation=revoked).granted
+        assert stats.misses == 2  # different content, different key
+
+    def test_uncacheable_checker_bypasses(self, ca, registry, cache, stats):
+        class Oracle(LocalRevocationChecker):
+            def cache_token(self):
+                return None
+
+        cred = ca.issue("bob", Atom("role", ("bob", "member")), 0.0)
+        proof = cached_eval(
+            cache, member_policy(), registry, [cred], revocation=Oracle(registry)
+        )
+        assert proof.granted
+        assert stats.bypasses == 1 and len(cache) == 0
+
+
+class TestCapacity:
+    def test_lru_eviction_respects_capacity(self, ca, registry, stats):
+        cache = ProofCache(stats=stats, server="s1", capacity=2)
+        cred = ca.issue("bob", Atom("role", ("bob", "member")), 0.0)
+        policy = member_policy()
+        cached_eval(cache, policy, registry, [cred], item="inventory")
+        cached_eval(cache, policy, registry, [cred], item="ledger")
+        cached_eval(cache, policy, registry, [cred], item="missing")  # evicts oldest
+        assert len(cache) == 2
+        cached_eval(cache, policy, registry, [cred], item="inventory")
+        assert stats.misses == 4  # the evicted entry had to be recomputed
