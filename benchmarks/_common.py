@@ -9,11 +9,34 @@ EXPERIMENTS.md indexes those files against the paper.
 from __future__ import annotations
 
 import pathlib
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Dict, Iterable, Sequence, Tuple
 
+from repro.analysis.parallel import run_sweep
+from repro.analysis.sweep import SweepPoint, SweepResult
 from repro.metrics.report import format_table
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The paper's four enforcement approaches, in its presentation order.
+#: Every bench sweeping "per approach" iterates this one tuple.
+APPROACHES = ("deferred", "punctual", "incremental", "continuous")
+
+
+def sweep_grid(
+    xs: Sequence[Any],
+    make_point: Callable[[str, Any], SweepPoint],
+    approaches: Sequence[str] = APPROACHES,
+) -> Dict[Tuple[str, Any], SweepResult]:
+    """Run an approach × x grid through the parallel sweep engine.
+
+    ``make_point(approach, x)`` builds each seeded :class:`SweepPoint`; the
+    fan-out order is approaches-major, matching the serial double loop the
+    tradeoff benches used to spell out.  Returns ``{(approach, x): result}``
+    — results are seed-deterministic, so identical to a serial run.
+    """
+    grid = [(approach, x) for approach in approaches for x in xs]
+    results = run_sweep([make_point(approach, x) for approach, x in grid])
+    return dict(zip(grid, results))
 
 
 def emit(name: str, text: str) -> None:

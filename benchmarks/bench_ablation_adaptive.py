@@ -26,9 +26,8 @@ from repro.transactions.transaction import Query, Transaction
 from repro.workloads.testbed import build_cluster
 from repro.workloads.updates import PolicyUpdateProcess
 
-from _common import emit_table
+from _common import APPROACHES, emit_table
 
-APPROACHES = ("deferred", "punctual", "incremental", "continuous")
 PHASE_TXNS = 10
 TXN_LEN = 3
 

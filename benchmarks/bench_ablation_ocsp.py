@@ -17,9 +17,8 @@ from repro.sim.network import FixedLatency
 from repro.workloads.generator import one_query_per_server
 from repro.workloads.testbed import build_cluster
 
-from _common import emit_table
+from _common import APPROACHES, emit_table
 
-APPROACHES = ("deferred", "punctual", "incremental", "continuous")
 N = 4
 
 

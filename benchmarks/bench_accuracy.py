@@ -26,10 +26,9 @@ from repro.transactions.transaction import Query, Transaction
 from repro.workloads.testbed import build_cluster
 from repro.workloads.updates import PolicyUpdateProcess
 
-from _common import emit_table
+from _common import APPROACHES, emit_table
 
 VIEW, GLOBAL = ConsistencyLevel.VIEW, ConsistencyLevel.GLOBAL
-APPROACHES = ("deferred", "punctual", "incremental", "continuous")
 N_TXNS = 15
 
 

@@ -27,9 +27,8 @@ from repro.transactions.transaction import Query, Transaction
 from repro.workloads.runner import OpenLoopRunner
 from repro.workloads.testbed import build_cluster
 
-from _common import emit, emit_table
+from _common import APPROACHES, emit, emit_table
 
-APPROACHES = ("deferred", "punctual", "incremental", "continuous")
 CONCURRENCY = (1, 4, 8)
 HOT_ITEMS = 2  # all transactions fight over two items
 

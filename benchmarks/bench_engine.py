@@ -1,0 +1,327 @@
+"""Wall-clock benchmark for the inference engine and the kernel fast paths.
+
+Measures the two innermost loops of the codebase on the **host** clock
+(both are transparent to simulated time):
+
+* **uncached proof throughput** — the proof-evaluation calls a seeded
+  Continuous-approach run actually makes are recorded once, then replayed
+  against the indexed/tabled engine and against the naive reference
+  resolver (``repro.policy.rules_reference``), asserting verdict- and
+  witness-identical results call for call;
+* **kernel events/sec** — a self-rescheduling timeout callback chain and a
+  generator-process timeout loop, the two dominant event shapes of every
+  simulated run;
+* **end-to-end equivalence** — bit-identical ``TransactionOutcome``
+  sequences between the engines for all four enforcement approaches at
+  both consistency levels.
+
+Writes ``BENCH_engine.json`` (repo root by default) — the source of the
+engine table in ``docs/performance.md``.  Run:
+
+    PYTHONPATH=src python benchmarks/bench_engine.py [--quick] [--out PATH]
+
+``--quick`` shrinks the workload for CI smoke runs.  ``--check-baseline
+PATH`` compares against a committed report and exits non-zero if the
+indexed-over-naive throughput *ratio* regressed more than 30% — the ratio,
+not absolute ops/sec, so the gate is portable across machines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Dict, List, Tuple
+
+from repro.analysis.sweep import SweepPoint, run_point
+from repro.core.consistency import ConsistencyLevel
+from repro.policy import proofs as proofs_mod
+from repro.policy.proofs import evaluate_proof
+from repro.policy.rules_reference import naive_view
+from repro.sim.kernel import Environment
+from repro.workloads.generator import WorkloadSpec, uniform_transactions
+from repro.workloads.testbed import build_cluster
+
+from _common import APPROACHES
+
+#: Measured on the pre-optimization engine (commit d859775) with the exact
+#: workloads below, recorded so the report always shows the before/after
+#: pair this bench exists to document.  Absolute numbers are machine-bound;
+#: the committed speedup ratios are what the CI gate compares against.
+BEFORE = {
+    "proof_throughput_per_s": 7066,
+    "kernel_timeout_chain_per_s": 760635,
+    "kernel_process_loop_per_s": 441826,
+}
+
+LEVELS = (ConsistencyLevel.VIEW, ConsistencyLevel.GLOBAL)
+
+
+# -- proof workload -----------------------------------------------------------
+
+
+def record_continuous_calls(quick: bool) -> List[Tuple]:
+    """The proof-evaluation calls one seeded Continuous run makes, uncached."""
+    import repro.cloud.server as server_mod
+    from repro.cloud.config import CloudConfig
+
+    calls: List[Tuple] = []
+    original = proofs_mod.evaluate_proof
+
+    def recording(policy, query_id, user, operation, items, credentials,
+                  server, now, registry, revocation=None, counters=None):
+        calls.append(
+            (policy, user, operation, tuple(items), tuple(credentials), registry)
+        )
+        return original(policy, query_id, user, operation, items, credentials,
+                        server, now, registry, revocation, counters)
+
+    config = CloudConfig()
+    config.enable_proof_cache = False
+    server_mod.evaluate_proof = recording
+    try:
+        cluster = build_cluster(
+            n_servers=4, items_per_server=6, seed=61, config=config
+        )
+        credential = cluster.issue_role_credential("alice")
+        spec = WorkloadSpec(
+            txn_length=4 if quick else 6,
+            read_fraction=0.7,
+            count=6 if quick else 12,
+            user="alice",
+        )
+        transactions = uniform_transactions(
+            spec, cluster.catalog, cluster.rng.stream("workload"), [credential]
+        )
+        for txn in transactions:
+            cluster.run_transaction(txn, "continuous")
+    finally:
+        server_mod.evaluate_proof = original
+    return calls
+
+
+def replay(calls: List[Tuple], naive: bool):
+    """Re-evaluate every recorded call; returns the proofs, in order."""
+    results = []
+    for index, (policy, user, operation, items, credentials, registry) in enumerate(calls):
+        if naive:
+            from dataclasses import replace
+
+            policy = replace(policy, rules=naive_view(policy.rules))
+        results.append(
+            evaluate_proof(policy, f"q{index}", user, operation, items,
+                           credentials, "bench", 100.0, registry)
+        )
+    return results
+
+
+def measure_proof_throughput(quick: bool, repeats: int) -> Dict[str, object]:
+    calls = record_continuous_calls(quick)
+
+    # Equivalence first: verdicts AND witness derivations must match call
+    # for call (the records differ only in fields we pinned equal).
+    indexed_proofs = replay(calls, naive=False)
+    naive_proofs = replay(calls, naive=True)
+    mismatches = sum(
+        1
+        for indexed, naive in zip(indexed_proofs, naive_proofs)
+        if (indexed.granted, indexed.reason, indexed.derivations)
+        != (naive.granted, naive.reason, naive.derivations)
+    )
+
+    # Pre-build the naive policy views so the timed loop measures the naive
+    # *search*, not repeated index construction.
+    from dataclasses import replace
+
+    naive_calls = [
+        (replace(call[0], rules=naive_view(call[0].rules)),) + call[1:]
+        for call in calls
+    ]
+
+    def timed(workload: List[Tuple]) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            for index, (policy, user, operation, items, credentials, registry) in enumerate(workload):
+                evaluate_proof(policy, f"q{index}", user, operation, items,
+                               credentials, "bench", 100.0, registry)
+            best = min(best, time.perf_counter() - start)
+        return len(workload) / best
+
+    indexed_per_s = timed(calls)
+    naive_per_s = timed(naive_calls)
+    return {
+        "workload": "continuous, uncached",
+        "recorded_calls": len(calls),
+        "verdict_or_witness_mismatches": mismatches,
+        "indexed_per_s": round(indexed_per_s),
+        "naive_per_s": round(naive_per_s),
+        "speedup_vs_naive": round(indexed_per_s / naive_per_s, 3),
+        "before_per_s": BEFORE["proof_throughput_per_s"],
+        "speedup_vs_before": round(
+            indexed_per_s / BEFORE["proof_throughput_per_s"], 3
+        ),
+    }
+
+
+# -- kernel workloads ---------------------------------------------------------
+
+
+def kernel_timeout_chain(n_events: int) -> float:
+    """Events/sec for a self-rescheduling timeout callback chain."""
+    env = Environment()
+    state = {"left": n_events}
+
+    def fire(event):
+        if state["left"] > 0:
+            state["left"] -= 1
+            env.timeout(1.0).add_callback(fire)
+
+    env.timeout(1.0).add_callback(fire)
+    start = time.perf_counter()
+    env.run()
+    return n_events / (time.perf_counter() - start)
+
+
+def kernel_process_loop(n_events: int) -> float:
+    """Events/sec for a generator process yielding timeouts."""
+    env = Environment()
+
+    def body():
+        for _ in range(n_events):
+            yield env.timeout(1.0)
+
+    env.process(body())
+    start = time.perf_counter()
+    env.run()
+    return n_events / (time.perf_counter() - start)
+
+
+def measure_kernel(quick: bool, repeats: int) -> Dict[str, object]:
+    chain_n = 50_000 if quick else 200_000
+    loop_n = 25_000 if quick else 100_000
+    chain = max(kernel_timeout_chain(chain_n) for _ in range(repeats))
+    loop = max(kernel_process_loop(loop_n) for _ in range(repeats))
+    return {
+        "timeout_chain_per_s": round(chain),
+        "timeout_chain_before_per_s": BEFORE["kernel_timeout_chain_per_s"],
+        "timeout_chain_speedup": round(
+            chain / BEFORE["kernel_timeout_chain_per_s"], 3
+        ),
+        "process_loop_per_s": round(loop),
+        "process_loop_before_per_s": BEFORE["kernel_process_loop_per_s"],
+        "process_loop_speedup": round(
+            loop / BEFORE["kernel_process_loop_per_s"], 3
+        ),
+    }
+
+
+# -- end-to-end equivalence ---------------------------------------------------
+
+
+def measure_outcome_equivalence(quick: bool) -> Dict[str, object]:
+    """Indexed vs naive outcome sequences, all approaches × both levels."""
+    n_txns = 4 if quick else 8
+    checks: Dict[str, bool] = {}
+    for approach in APPROACHES:
+        for level in LEVELS:
+            def point(engine):
+                return SweepPoint(
+                    approach=approach,
+                    consistency=level,
+                    n_servers=4,
+                    txn_length=4,
+                    n_transactions=n_txns,
+                    update_interval=None,
+                    seed=61,
+                    config_overrides={"inference_engine": engine},
+                )
+
+            indexed = run_point(point("indexed")).outcomes
+            naive = run_point(point("naive")).outcomes
+            checks[f"{approach}/{level.value}"] = indexed == naive
+    return {
+        "cells": checks,
+        "all_identical": all(checks.values()),
+    }
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+def check_baseline(report: Dict, baseline_path: pathlib.Path) -> List[str]:
+    """Regression gate: >30% drop in any committed speedup ratio fails.
+
+    Ratios (indexed/naive, after/before-normalized kernel shapes) are
+    machine-portable; absolute events/sec are not, so they are reported but
+    never gated on.
+    """
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    gates = (
+        ("proof_throughput", "speedup_vs_naive"),
+        ("kernel", "timeout_chain_speedup"),
+        ("kernel", "process_loop_speedup"),
+    )
+    failures = []
+    for section, key in gates:
+        committed = baseline[section][key]
+        measured = report[section][key]
+        if measured < committed * 0.7:
+            failures.append(
+                f"{section}.{key}: {measured} < 70% of committed {committed}"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized workload")
+    parser.add_argument(
+        "--out",
+        default=str(pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument("--repeats", type=int, default=None, help="timing repeats (best-of)")
+    parser.add_argument(
+        "--check-baseline",
+        metavar="PATH",
+        default=None,
+        help="committed BENCH_engine.json to gate speedup ratios against",
+    )
+    args = parser.parse_args(argv)
+    repeats = args.repeats if args.repeats is not None else (2 if args.quick else 3)
+
+    report = {
+        "bench": "engine",
+        "quick": bool(args.quick),
+        "proof_throughput": measure_proof_throughput(args.quick, repeats),
+        "kernel": measure_kernel(args.quick, repeats),
+        "outcome_equivalence": measure_outcome_equivalence(args.quick),
+    }
+    ok = (
+        report["proof_throughput"]["verdict_or_witness_mismatches"] == 0
+        and report["outcome_equivalence"]["all_identical"]
+    )
+    report["all_equivalence_checks_passed"] = ok
+
+    out_path = pathlib.Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {out_path}")
+    if not ok:
+        print("EQUIVALENCE CHECK FAILED", file=sys.stderr)
+        return 1
+    if args.check_baseline:
+        failures = check_baseline(report, pathlib.Path(args.check_baseline))
+        if failures:
+            for failure in failures:
+                print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+            return 2
+        print("baseline check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,9 +18,7 @@ from repro.workloads.scenarios import (
     run_bob_with,
 )
 
-from _common import emit_table
-
-APPROACHES = ("deferred", "punctual", "incremental", "continuous")
+from _common import APPROACHES, emit_table
 
 
 def collect():

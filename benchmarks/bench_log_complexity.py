@@ -17,10 +17,9 @@ from repro.workloads.generator import one_query_per_server
 from repro.workloads.testbed import build_cluster
 from repro.workloads.updates import benign_successor
 
-from _common import emit_table
+from _common import APPROACHES, emit_table
 
 N = 5
-APPROACHES = ("deferred", "punctual", "incremental", "continuous")
 
 
 def forced_writes_for(cluster, txn_id):

@@ -34,7 +34,7 @@ from repro.core.consistency import ConsistencyLevel
 from repro.workloads.generator import WorkloadSpec, uniform_transactions
 from repro.workloads.testbed import build_cluster
 
-APPROACHES = ("deferred", "punctual", "incremental", "continuous")
+from _common import APPROACHES
 
 
 def make_grid(quick: bool, enable_cache: bool) -> List[SweepPoint]:

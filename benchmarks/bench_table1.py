@@ -24,10 +24,9 @@ from repro.workloads.generator import one_query_per_server
 from repro.workloads.testbed import build_cluster
 from repro.workloads.updates import benign_successor
 
-from _common import emit_table
+from _common import APPROACHES, emit_table
 
 VIEW, GLOBAL = ConsistencyLevel.VIEW, ConsistencyLevel.GLOBAL
-APPROACHES = ("deferred", "punctual", "incremental", "continuous")
 N = 4  # participants = queries (the worst-case shape of Table I)
 
 

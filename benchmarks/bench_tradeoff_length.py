@@ -13,36 +13,32 @@ approach.  Shape claims from the paper's analysis:
 
 import pytest
 
-from repro.analysis.parallel import run_sweep
 from repro.analysis.sweep import SweepPoint
 from repro.core.consistency import ConsistencyLevel
 
-from _common import emit_table
+from _common import APPROACHES, emit_table, sweep_grid
 
-APPROACHES = ("deferred", "punctual", "incremental", "continuous")
 LENGTHS = (2, 4, 6, 8)
+
+
+def make_point(approach, length):
+    return SweepPoint(
+        approach=approach,
+        consistency=ConsistencyLevel.VIEW,
+        n_servers=max(3, length),
+        txn_length=length,
+        n_transactions=12,
+        update_interval=None,
+        seed=23,
+    )
 
 
 def collect():
     # Fan the approach × length grid out over worker processes (results are
     # seed-deterministic, so identical to the previous serial loop).
-    grid = [(approach, length) for approach in APPROACHES for length in LENGTHS]
-    results = run_sweep(
-        [
-            SweepPoint(
-                approach=approach,
-                consistency=ConsistencyLevel.VIEW,
-                n_servers=max(3, length),
-                txn_length=length,
-                n_transactions=12,
-                update_interval=None,
-                seed=23,
-            )
-            for approach, length in grid
-        ]
-    )
+    cells = sweep_grid(LENGTHS, make_point)
     table = {}
-    for (approach, length), result in zip(grid, results):
+    for (approach, length), result in cells.items():
         summary = result.summary
         assert summary.commit_rate == 1.0
         table[(approach, length)] = (summary.mean_latency, summary.mean_messages)

@@ -14,13 +14,11 @@ and wasted time.  Shape claims:
 
 import pytest
 
-from repro.analysis.parallel import run_sweep
 from repro.analysis.sweep import SweepPoint
 from repro.core.consistency import ConsistencyLevel
 
-from _common import emit_table
+from _common import APPROACHES, emit_table, sweep_grid
 
-APPROACHES = ("deferred", "punctual", "incremental", "continuous")
 INTERVALS = (200.0, 60.0, 25.0, 10.0)
 
 
@@ -41,9 +39,7 @@ def make_point(approach, interval):
 def collect():
     # The grid fans out over worker processes; each point is seeded, so the
     # results (and the shape assertions below) match a serial run exactly.
-    grid = [(approach, interval) for approach in APPROACHES for interval in INTERVALS]
-    results = run_sweep([make_point(approach, interval) for approach, interval in grid])
-    cells = dict(zip(grid, results))
+    cells = sweep_grid(INTERVALS, make_point)
     rows = []
     for approach in APPROACHES:
         row = [approach]

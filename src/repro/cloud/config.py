@@ -79,6 +79,13 @@ class CloudConfig:
     enable_proof_cache: bool = True
     #: Max cached proof entries per server (None = unbounded, LRU otherwise).
     proof_cache_capacity: Optional[int] = None
+    #: Which SLD resolver backs proof evaluation: ``"indexed"`` (the
+    #: default first-argument-indexed, tabled engine in
+    #: ``repro.policy.rules``) or ``"naive"`` (the reference resolver in
+    #: ``repro.policy.rules_reference``).  Verdicts and witnesses are
+    #: identical either way — asserted by the equivalence harness — so this
+    #: knob only trades host CPU, never simulation behaviour.
+    inference_engine: str = "indexed"
 
     def scaled(self, factor: float) -> "CloudConfig":
         """A copy with every local service time scaled by ``factor``."""

@@ -12,7 +12,7 @@ time, OCSP round trips, and forced log writes all consume simulated time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.cloud import messages as msg
@@ -36,6 +36,7 @@ from repro.policy.proofs import (
     evaluate_proof,
 )
 from repro.policy.rules import Atom
+from repro.policy.rules_reference import naive_view
 from repro.policy.store import PolicyStore
 from repro.sim.events import Event
 from repro.sim.network import Message, Node
@@ -111,6 +112,11 @@ class CloudServer(Node):
             registry.subscribe_revocations(
                 lambda record: self.proof_cache.invalidate_credential(record.cred_id)
             )
+        #: Memo of naive-resolver views per policy version, used when
+        #: ``config.inference_engine == "naive"`` so the reference rule set
+        #: (and its construction cost) is built once per version, not per
+        #: proof.
+        self._naive_policies: Dict[Tuple[PolicyId, int], Policy] = {}
 
     # Nodes get their env at registration time; the lock manager needs it.
     def _lock_manager(self) -> LockManager:
@@ -312,6 +318,8 @@ class CloudServer(Node):
         yield from self._consume_cpu(self.config.proof_evaluation_time)
         if policy is None:
             policy = self.policies.current(executed.admin)
+        if self.config.inference_engine == "naive":
+            policy = self._naive_policy(policy)
         evaluator = (
             self.proof_cache.evaluate if self.proof_cache is not None else evaluate_proof
         )
@@ -326,6 +334,7 @@ class CloudServer(Node):
             now=self.env.now,
             registry=self.registry,
             revocation=checker,
+            counters=self.metrics.engine,
         )
         executed.latest_proof = proof
         self.metrics.proofs.on_proof(self.name, txn_id)
@@ -340,6 +349,20 @@ class CloudServer(Node):
             version=proof.policy_version,
         )
         return proof
+
+    def _naive_policy(self, policy: Policy) -> Policy:
+        """``policy`` with its rules proved by the naive reference resolver.
+
+        Same rules, same verdicts, same witnesses — only the search
+        strategy differs (see ``repro.policy.rules_reference``).  Memoized
+        per (domain, version) so sweeps pay the view construction once.
+        """
+        key = (policy.policy_id, policy.version)
+        view = self._naive_policies.get(key)
+        if view is None:
+            view = replace(policy, rules=naive_view(policy.rules))
+            self._naive_policies[key] = view
+        return view
 
     def _validation_report(
         self, txn_id: str

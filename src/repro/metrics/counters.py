@@ -17,6 +17,7 @@ from collections import Counter
 from typing import Dict, Iterable, Optional, Tuple
 
 from repro.cloud.messages import PROTOCOL_CATEGORIES
+from repro.policy.rules import EngineCounters
 from repro.sim.network import Message
 
 
@@ -132,6 +133,11 @@ class Metrics:
         self.messages = MessageCounters()
         self.proofs = ProofCounters()
         self.proof_cache = ProofCacheCounters()
+        #: Inference-engine work accounting (facts scanned, rules tried,
+        #: table hits, …), accumulated across every uncached proof
+        #: evaluation the servers run.  Host-side accounting only — never
+        #: part of the Table I complexity numbers.
+        self.engine = EngineCounters()
 
     # convenience used as the network hook directly
     def on_message(self, message: Message) -> None:

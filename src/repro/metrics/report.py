@@ -49,3 +49,31 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: s
 def format_series(name: str, xs: Sequence[Any], ys: Sequence[Any]) -> str:
     """Render an (x, y) series as one table — the textual form of a figure."""
     return format_table(("x", name), zip(xs, ys))
+
+
+def format_counters_report(metrics: Any) -> str:
+    """Render a run's host-side work accounting: cache and engine counters.
+
+    Takes a :class:`repro.metrics.counters.Metrics` bundle and reports the
+    proof-cache hit/miss/bypass/invalidation counts plus the inference
+    engine's work counters (facts scanned, rules tried, table hits, …).
+    These are wall-clock-side diagnostics — none of them appear in the
+    Table I complexity numbers, which count *evaluations*, not the work one
+    evaluation does.
+    """
+    cache = metrics.proof_cache
+    cache_rows = [
+        ("hits", cache.hits),
+        ("misses", cache.misses),
+        ("bypasses", cache.bypasses),
+        ("invalidations", cache.invalidations),
+        ("hit rate", f"{cache.hit_rate:.1%}"),
+    ]
+    engine_rows = sorted(metrics.engine.snapshot().items())
+    return "\n".join(
+        [
+            format_table(("counter", "value"), cache_rows, title="proof cache"),
+            "",
+            format_table(("counter", "value"), engine_rows, title="inference engine"),
+        ]
+    )

@@ -111,6 +111,7 @@ class ProofCache:
         now: float,
         registry: CARegistry,
         revocation: Optional[RevocationChecker] = None,
+        counters: Optional[object] = None,
     ) -> ProofOfAuthorization:
         """``evaluate_proof`` with memoization; verdict-identical to it.
 
@@ -118,7 +119,10 @@ class ProofCache:
         ``query_id``, ``server``, and ``evaluated_at`` (those fields don't
         influence the verdict).  Anything that can't be keyed safely — an
         uncacheable checker, a malformed credential object — bypasses the
-        cache and evaluates directly.
+        cache and evaluates directly.  ``counters`` (an
+        :class:`~repro.policy.rules.EngineCounters`) is forwarded to the
+        inference engine on misses and bypasses; hits do no inference, so
+        they add nothing to it.
         """
         revocation = revocation or LocalRevocationChecker(registry)
         key = self._key(policy, user, operation, items, credentials, revocation)
@@ -127,7 +131,7 @@ class ProofCache:
                 self.stats.on_bypass(self.server)
             return evaluate_proof(
                 policy, query_id, user, operation, items, credentials,
-                server, now, registry, revocation,
+                server, now, registry, revocation, counters,
             )
 
         entry = self._entries.get(key)
@@ -141,7 +145,7 @@ class ProofCache:
 
         proof = evaluate_proof(
             policy, query_id, user, operation, items, credentials,
-            server, now, registry, revocation,
+            server, now, registry, revocation, counters,
         )
         window_start, window_end = self._validity_window(credentials, now, revocation)
         self._store(key, _Entry(proof, window_start, window_end))

@@ -28,7 +28,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.policy.credentials import CARegistry, Credential
 from repro.policy.policy import Operation, Policy, PolicyId
-from repro.policy.rules import FactBase, ProofNode
+from repro.policy.rules import EngineCounters, FactBase, ProofNode
 
 
 class RevocationChecker(abc.ABC):
@@ -212,12 +212,16 @@ def evaluate_proof(
     now: float,
     registry: CARegistry,
     revocation: Optional[RevocationChecker] = None,
+    counters: Optional[EngineCounters] = None,
 ) -> ProofOfAuthorization:
     """Evaluate ``eval(f, now)`` and build the full proof record.
 
     The two validity cases of Section III-A are applied in order: invalid
     credentials are discarded (never contributing facts), then each touched
     item's access goal must be derivable from the surviving credentials.
+    ``counters``, when given, accumulates the inference engine's work
+    accounting (facts scanned, rules tried, table hits, …) across the
+    per-item ``prove`` calls.
 
     This is the *uncached* ground-truth path.  It draws no randomness and
     mutates nothing, so the result is fully determined by its arguments;
@@ -240,7 +244,7 @@ def evaluate_proof(
     reason = "ok"
     for item in items:
         goal = policy.goal(operation, user, item)
-        derivation = policy.rules.prove(goal, facts)
+        derivation = policy.rules.prove(goal, facts, counters)
         if derivation is None:
             granted = False
             bad = [a.cred_id for a in assessments if not a.ok]

@@ -8,11 +8,23 @@ steps until a deadline, a target event, or queue exhaustion.
 Unhandled event failures are *strict*: if a failed event is processed and no
 callback defuses it, the exception propagates out of :meth:`run`.  This turns
 silent protocol bugs into loud test failures.
+
+Performance notes
+-----------------
+The event loop is the innermost loop of every simulated run, so the three
+``run`` variants inline the pop → advance-clock → dispatch sequence instead
+of calling :meth:`step` per event: at hundreds of thousands of events per
+second the per-event function call is a measurable fraction of total cost
+(see ``benchmarks/bench_engine.py``, kernel section).  :meth:`step` remains
+the canonical single-event reference — the inlined bodies must stay
+behaviourally identical to it.  Queue entries stay plain tuples on purpose:
+tuple comparison happens in C, which beats any ``__slots__`` class with a
+Python-level ``__lt__``.
 """
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from itertools import count
 from typing import Any, Generator, Iterable, List, Optional, Tuple, Union
 
@@ -25,6 +37,8 @@ _QueueEntry = Tuple[float, int, int, Event]
 
 class Environment:
     """A simulated world with its own clock and event loop."""
+
+    __slots__ = ("_now", "_queue", "_sequence", "_active_process")
 
     def __init__(self, initial_time: float = 0.0) -> None:
         self._now = float(initial_time)
@@ -72,22 +86,30 @@ class Environment:
         """Enqueue a triggered event for processing at ``now + delay``."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay!r})")
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._sequence), event))
+        heappush(self._queue, (self._now + delay, priority, next(self._sequence), event))
 
     def peek(self) -> float:
         """Timestamp of the next queued event, or ``inf`` if the queue is empty."""
         return self._queue[0][0] if self._queue else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event (advancing the clock to its timestamp)."""
+        """Process exactly one event (advancing the clock to its timestamp).
+
+        This is the canonical dispatch sequence; the ``run`` loops inline
+        the same body for speed and must stay equivalent to it.
+        """
         if not self._queue:
             raise SimulationError("step() on an empty event queue")
-        when, _priority, _seq, event = heapq.heappop(self._queue)
+        when, _priority, _seq, event = heappop(self._queue)
         self._now = when
-        for callback in event._mark_processed():
-            callback(event)
-        if event.exception is not None and not event.defused:
-            raise event.exception
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        if event._exception is not None and not event.defused:
+            raise event._exception
 
     # -- run loop --------------------------------------------------------------
 
@@ -103,16 +125,37 @@ class Environment:
         """
         if isinstance(until, Event):
             return self._run_until_event(until)
+        queue = self._queue
         if until is not None:
             deadline = float(until)
             if deadline < self._now:
                 raise SimulationError(f"run(until={deadline}) is in the past (now={self._now})")
-            while self._queue and self._queue[0][0] <= deadline:
-                self.step()
+            while queue and queue[0][0] <= deadline:
+                # Inlined step() body — keep in sync.
+                when, _priority, _seq, event = heappop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._processed = True
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                if event._exception is not None and not event.defused:
+                    raise event._exception
             self._now = deadline
             return None
-        while self._queue:
-            self.step()
+        while queue:
+            # Inlined step() body — keep in sync.
+            when, _priority, _seq, event = heappop(queue)
+            self._now = when
+            callbacks = event.callbacks
+            event.callbacks = None
+            event._processed = True
+            if callbacks:
+                for callback in callbacks:
+                    callback(event)
+            if event._exception is not None and not event.defused:
+                raise event._exception
         return None
 
     def _run_until_event(self, target: Event) -> Any:
@@ -124,9 +167,20 @@ class Environment:
             raise StopSimulation(event)
 
         target.add_callback(_finish)
+        queue = self._queue
         try:
-            while self._queue:
-                self.step()
+            while queue:
+                # Inlined step() body — keep in sync.
+                when, _priority, _seq, event = heappop(queue)
+                self._now = when
+                callbacks = event.callbacks
+                event.callbacks = None
+                event._processed = True
+                if callbacks:
+                    for callback in callbacks:
+                        callback(event)
+                if event._exception is not None and not event.defused:
+                    raise event._exception
         except StopSimulation:
             return target.value  # raises the exception if target failed
         raise SimulationError("run(until=event): queue drained before event triggered")

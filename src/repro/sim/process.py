@@ -10,7 +10,12 @@ the generator returns (success, with the ``return`` value) or raises
 Processes support *interrupts*: ``process.interrupt(cause)`` throws an
 :class:`Interrupt` into the generator at the current simulation time,
 regardless of what the process is waiting on.  Stale resumptions from the
-abandoned wait target are suppressed with an epoch counter.
+abandoned wait target are suppressed by identity: the process remembers the
+one event it expects to be woken by (``_wake``), and a resumption from any
+other event is ignored.  Events are processed at most once, so identity is
+as discriminating as an epoch counter while letting every wait share the
+single bound-method callback ``self._resume`` instead of allocating a
+closure per wait.
 """
 
 from __future__ import annotations
@@ -32,7 +37,7 @@ class Interrupt(Exception):
 class Process(Event):
     """An event representing the lifetime of a generator-based activity."""
 
-    __slots__ = ("_generator", "_target", "_epoch", "name")
+    __slots__ = ("_generator", "_target", "_wake", "name")
 
     def __init__(
         self,
@@ -45,7 +50,7 @@ class Process(Event):
         super().__init__(env)
         self._generator = generator
         self._target: Optional[Event] = None
-        self._epoch = 0
+        self._wake: Optional[Event] = None
         self.name = name or getattr(generator, "__name__", "process")
         bootstrap = Event(env)
         bootstrap.succeed(None)
@@ -67,25 +72,23 @@ class Process(Event):
         """Throw :class:`Interrupt` into the process at the current time."""
         if self._triggered:
             raise SimulationError("cannot interrupt a finished process")
-        self._epoch += 1
         self._target = None
         poke = Event(self.env)
         poke.fail(Interrupt(cause), priority=URGENT)
         poke.defused = True
-        epoch = self._epoch
-        poke.add_callback(lambda event: self._resume(event, epoch))
+        self._wake = poke  # the abandoned wait target's wake-up is now stale
+        poke.add_callback(self._resume)
 
     # -- stepping ----------------------------------------------------------
 
     def _wait_on(self, event: Event) -> None:
-        self._epoch += 1
-        self._target = event
-        epoch = self._epoch
-        event.add_callback(lambda ev: self._resume(ev, epoch))
+        self._target = self._wake = event
+        event.add_callback(self._resume)
 
-    def _resume(self, event: Event, epoch: int) -> None:
-        if epoch != self._epoch or self._triggered:
+    def _resume(self, event: Event) -> None:
+        if event is not self._wake or self._triggered:
             return  # stale wake-up from an abandoned wait target
+        self._wake = None
         self._target = None
         self.env._active_process = self
         try:
