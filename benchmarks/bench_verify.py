@@ -1,0 +1,170 @@
+"""Wall-clock benchmark for the trace sanitizer (``repro.verify``).
+
+Measures two things on the host clock:
+
+* **checker throughput** — events/second of ``check_run`` over recorded
+  runs of every approach (the conformance pass is pure, so this is the
+  marginal cost of re-checking a stored trace), and
+* **hook overhead** — end-to-end wall-clock of a Continuous workload with
+  ``CloudConfig.verify_traces`` off vs on (collection + checking at the
+  end of the run).
+
+Every measured run must come back violation-free — a violation is a
+correctness failure, not a benchmark result, and exits non-zero.
+
+Writes ``BENCH_verify.json`` (repo root by default).  Run:
+
+    PYTHONPATH=src python benchmarks/bench_verify.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.cloud.config import CloudConfig
+from repro.core.consistency import ConsistencyLevel
+from repro.verify import check_run, collect_run
+from repro.workloads.generator import (
+    WorkloadSpec,
+    poisson_arrivals,
+    uniform_transactions,
+)
+from repro.workloads.runner import OpenLoopRunner
+from repro.workloads.testbed import build_cluster
+from repro.workloads.updates import PolicyUpdateProcess
+
+from _common import APPROACHES
+
+SEED = 61
+
+
+def run_workload(
+    approach: str,
+    quick: bool,
+    verify_traces: bool = False,
+    config: Optional[CloudConfig] = None,
+) -> Any:
+    """One seeded open-loop workload with benign churn; returns the cluster."""
+    n_txns = 10 if quick else 30
+    cluster = build_cluster(
+        n_servers=3,
+        items_per_server=4,
+        seed=SEED,
+        config=config or CloudConfig(verify_traces=verify_traces),
+    )
+    credential = cluster.issue_role_credential("alice")
+    spec = WorkloadSpec(txn_length=3, read_fraction=0.7, count=n_txns, user="alice")
+    txns = uniform_transactions(
+        spec, cluster.catalog, cluster.rng.stream("workload"), [credential]
+    )
+    arrivals = poisson_arrivals(
+        cluster.rng.stream("arrivals"), rate=0.05, count=len(txns)
+    )
+    PolicyUpdateProcess(
+        cluster,
+        "app",
+        interval=40.0,
+        rng=cluster.rng.stream("updates"),
+        mode="benign",
+        count=max(2, n_txns // 3),
+    ).start()
+    OpenLoopRunner(cluster, approach, ConsistencyLevel.VIEW).run(txns, arrivals)
+    return cluster
+
+
+def measure_checker_throughput(quick: bool, repeats: int) -> Dict[str, Dict[str, Any]]:
+    """events/sec of the pure conformance pass, per approach."""
+    out: Dict[str, Dict[str, Any]] = {}
+    for approach in APPROACHES:
+        cluster = run_workload(approach, quick)
+        run = collect_run(cluster)
+        # Warm-up + correctness gate in one.
+        report = check_run(run)
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            report = check_run(run)
+            best = min(best, time.perf_counter() - start)
+        out[approach] = {
+            "events": report.events_checked,
+            "transactions": report.transactions_checked,
+            "violations": len(report.violations),
+            "check_seconds": round(best, 6),
+            "events_per_second": round(report.events_checked / best),
+        }
+    return out
+
+
+def measure_hook_overhead(quick: bool, repeats: int) -> Dict[str, Any]:
+    """Wall-clock of a Continuous workload with the verify hook off vs on."""
+
+    def timed(verify_traces: bool) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            cluster = run_workload("continuous", quick, verify_traces=verify_traces)
+            best = min(best, time.perf_counter() - start)
+            if verify_traces:
+                assert cluster.metrics.verification.runs == 1
+                assert cluster.metrics.verification.violations == 0
+        return best
+
+    baseline = timed(False)
+    verified = timed(True)
+    return {
+        "approach": "continuous",
+        "baseline_seconds": round(baseline, 6),
+        "verified_seconds": round(verified, 6),
+        "overhead_seconds": round(verified - baseline, 6),
+        "overhead_ratio": round(verified / baseline, 4),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized workloads")
+    parser.add_argument(
+        "--out",
+        default=str(pathlib.Path(__file__).resolve().parent.parent / "BENCH_verify.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument("--repeats", type=int, default=None, help="timing repeats (best-of)")
+    args = parser.parse_args(argv)
+    repeats = args.repeats if args.repeats is not None else (2 if args.quick else 5)
+
+    report = {
+        "bench": "verify",
+        "quick": bool(args.quick),
+        "workload": {
+            "n_servers": 3,
+            "txn_length": 3,
+            "n_transactions": 10 if args.quick else 30,
+            "update_interval": 40.0,
+            "seed": SEED,
+        },
+        "checker_throughput": measure_checker_throughput(args.quick, repeats),
+        "hook_overhead": measure_hook_overhead(args.quick, repeats),
+    }
+
+    clean = all(
+        row["violations"] == 0 for row in report["checker_throughput"].values()
+    )
+    report["all_runs_violation_free"] = clean
+
+    out_path = pathlib.Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {out_path}")
+    if not clean:
+        print("CONFORMANCE CHECK FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

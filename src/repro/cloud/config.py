@@ -86,6 +86,12 @@ class CloudConfig:
     #: identical either way — asserted by the equivalence harness — so this
     #: knob only trades host CPU, never simulation behaviour.
     inference_engine: str = "indexed"
+    #: Run the trace sanitizer (:mod:`repro.verify.conformance`) over the
+    #: recorded trace at the end of every workload run.  Requires the
+    #: cluster to be built with tracing enabled; violations raise
+    #: :class:`repro.errors.VerificationError`.  Off by default — it is a
+    #: correctness harness, not part of the simulated system.
+    verify_traces: bool = False
 
     def scaled(self, factor: float) -> "CloudConfig":
         """A copy with every local service time scaled by ``factor``."""

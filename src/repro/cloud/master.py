@@ -17,7 +17,7 @@ under ``CAT_MASTER`` while the reply travels in a non-protocol category.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Tuple
 
 from repro.cloud import messages as msg
 from repro.errors import PolicyError
@@ -36,18 +36,31 @@ class MasterVersionService(Node):
     def __init__(self, name: str = "master") -> None:
         super().__init__(name)
         self._latest: Dict[PolicyId, Policy] = {}
+        #: Publication timeline per admin domain: ``(sim time, version)`` in
+        #: publication order.  The authoritative ``ver(P)`` history — the
+        #: trace sanitizer replays it to decide what "latest" meant at any
+        #: instant of a finished run (ψ, Def. 3).
+        self.version_log: Dict[str, List[Tuple[float, int]]] = {}
 
     # -- feeding -------------------------------------------------------------
 
     def track(self, administrator: PolicyAdministrator) -> None:
         """Follow an administrator: current version now, updates on publish."""
         self._latest[administrator.policy_id] = administrator.current
+        self._log_version(administrator.current)
         administrator.on_publish(self._on_publish)
 
     def _on_publish(self, policy: Policy) -> None:
         current = self._latest.get(policy.policy_id)
         if current is None or policy.version > current.version:
             self._latest[policy.policy_id] = policy
+            self._log_version(policy)
+
+    def _log_version(self, policy: Policy) -> None:
+        now = self.env.now if self.env is not None else 0.0
+        self.version_log.setdefault(policy.policy_id.admin, []).append(
+            (now, policy.version)
+        )
 
     # -- local queries (used by in-process checks and tests) --------------------
 

@@ -122,7 +122,7 @@ class CloudServer(Node):
     def _lock_manager(self) -> LockManager:
         if self.locks is None:
             assert self.env is not None, "server must be registered with a network"
-            self.locks = LockManager(self.env, self.name)
+            self.locks = LockManager(self.env, self.name, tracer=self.tracer)
         return self.locks
 
     def _cpu_resource(self) -> Optional[Resource]:
@@ -347,6 +347,7 @@ class CloudServer(Node):
             query_id=executed.query.query_id,
             granted=proof.granted,
             version=proof.policy_version,
+            admin=proof.policy_id.admin,
         )
         return proof
 
@@ -502,7 +503,7 @@ class CloudServer(Node):
             self.storage.discard(txn_id)
         self._txns.clear()
         if self.env is not None:
-            self.locks = LockManager(self.env, self.name)
+            self.locks = LockManager(self.env, self.name, tracer=self.tracer)
 
     def on_recover(self) -> None:
         """Replay the WAL: redo logged commits, resolve in-doubt transactions."""

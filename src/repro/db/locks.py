@@ -20,6 +20,12 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.errors import DeadlockError, SimulationError
 from repro.sim.events import Event
 from repro.sim.kernel import Environment
+from repro.sim.tracing import Tracer
+
+#: Trace categories emitted by the lock manager (consumed by
+#: :mod:`repro.verify.conformance` to check strict-2PL discipline).
+LOCK_GRANT = "lock.grant"
+LOCK_RELEASE = "lock.release"
 
 
 class LockMode(enum.Enum):
@@ -51,12 +57,26 @@ class _LockState:
 class LockManager:
     """Per-server lock table."""
 
-    def __init__(self, env: Environment, server: str = "?") -> None:
+    def __init__(
+        self, env: Environment, server: str = "?", tracer: Optional[Tracer] = None
+    ) -> None:
         self.env = env
         self.server = server
+        self.tracer = tracer
         self._locks: Dict[str, _LockState] = {}
         #: Keys held per transaction, for O(1) release.
         self._held_by_txn: Dict[str, Set[str]] = {}
+
+    def _trace(self, category: str, txn_id: str, key: str, mode: Optional[LockMode]) -> None:
+        if self.tracer is not None:
+            self.tracer.record(
+                self.env.now,
+                category,
+                server=self.server,
+                txn_id=txn_id,
+                key=key,
+                mode=mode.value if mode is not None else None,
+            )
 
     # -- inspection -------------------------------------------------------------
 
@@ -94,6 +114,7 @@ class LockManager:
                 return event
             if len(state.holders) == 1:  # sole-holder upgrade
                 state.mode = LockMode.EXCLUSIVE
+                self._trace(LOCK_GRANT, txn_id, key, LockMode.EXCLUSIVE)
                 event.succeed((key, mode))
                 return event
             # Upgrade must wait for the other sharers to drain.
@@ -120,6 +141,7 @@ class LockManager:
         state.mode = mode if not state.holders else state.mode
         state.holders.add(txn_id)
         self._held_by_txn.setdefault(txn_id, set()).add(key)
+        self._trace(LOCK_GRANT, txn_id, key, mode)
 
     def _enqueue(
         self, state: _LockState, txn_id: str, key: str, mode: LockMode, event: Event
@@ -153,11 +175,15 @@ class LockManager:
                 for entry in state.queue
                 if entry.txn_id != txn_id or entry.event.processed
             ]
-        for key in self._held_by_txn.pop(txn_id, set()):
+        # Sorted: the pop order of a set of keys is hash-randomized across
+        # interpreter runs, and it decides which queued waiter is promoted
+        # first — which would leak nondeterminism into the trace.
+        for key in sorted(self._held_by_txn.pop(txn_id, ())):
             state = self._locks[key]
             state.holders.discard(txn_id)
             if not state.holders:
                 state.mode = None
+            self._trace(LOCK_RELEASE, txn_id, key, None)
             self._promote(key, state)
 
     def _promote(self, key: str, state: _LockState) -> None:
@@ -172,6 +198,7 @@ class LockManager:
                 if len(state.holders) == 1:
                     state.mode = LockMode.EXCLUSIVE
                     state.queue.pop(0)
+                    self._trace(LOCK_GRANT, entry.txn_id, key, LockMode.EXCLUSIVE)
                     entry.event.succeed((key, entry.mode))
                     continue
                 break
@@ -212,7 +239,9 @@ class LockManager:
                 return None
             visited.add(node)
             path.append(node)
-            for neighbour in edges.get(node, ()):
+            # Sorted: neighbour order decides which cycle the DFS reports,
+            # and the cycle tuple reaches abort reasons (and thus traces).
+            for neighbour in sorted(edges.get(node, ())):
                 found = dfs(neighbour)
                 if found is not None:
                     return found

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.db.storage import AccessKind, AccessRecord, StorageEngine
+from repro.db.storage import AccessKind, StorageEngine
 
 
 @dataclass(frozen=True)
@@ -41,6 +41,43 @@ def _conflicts(first: AccessKind, second: AccessKind) -> Optional[str]:
     return None
 
 
+def conflict_edges_from_histories(
+    histories: Iterable[Sequence[Tuple[str, str, str]]],
+    committed: Set[str],
+) -> List[ConflictEdge]:
+    """Conflict edges from plain access histories.
+
+    Each history is one engine's ordered accesses as ``(txn_id, item,
+    kind)`` tuples with kind ``"read"``/``"write"`` (anything else, e.g.
+    ``"apply"``, is skipped).  This is the representation-independent core
+    of :func:`build_conflict_graph` — the trace sanitizer feeds it access
+    events reconstructed (and possibly corrupted) from a recorded run.
+    """
+    edges: List[ConflictEdge] = []
+    seen: Set[Tuple[str, str, str, str]] = set()
+    for history in histories:
+        per_item: Dict[str, List[Tuple[str, AccessKind]]] = {}
+        for txn_id, item, kind_name in history:
+            if kind_name not in (AccessKind.READ.value, AccessKind.WRITE.value):
+                continue
+            if txn_id not in committed:
+                continue
+            per_item.setdefault(item, []).append((txn_id, AccessKind(kind_name)))
+        for item, accesses in per_item.items():
+            for index, (first_txn, first_kind) in enumerate(accesses):
+                for second_txn, second_kind in accesses[index + 1 :]:
+                    if first_txn == second_txn:
+                        continue
+                    kind = _conflicts(first_kind, second_kind)
+                    if kind is None:
+                        continue
+                    key = (first_txn, second_txn, item, kind)
+                    if key not in seen:
+                        seen.add(key)
+                        edges.append(ConflictEdge(first_txn, second_txn, item, kind))
+    return edges
+
+
 def build_conflict_graph(
     engines: Iterable[StorageEngine],
     committed: Set[str],
@@ -51,31 +88,11 @@ def build_conflict_graph(
     records mark commit points but conflicts are defined on the data
     accesses themselves, whose order the lock manager controlled).
     """
-    edges: List[ConflictEdge] = []
-    seen: Set[Tuple[str, str, str, str]] = set()
-    for engine in engines:
-        per_item: Dict[str, List[AccessRecord]] = {}
-        for record in engine.access_log:
-            if record.kind is AccessKind.APPLY:
-                continue
-            if record.txn_id not in committed:
-                continue
-            per_item.setdefault(record.key, []).append(record)
-        for item, records in per_item.items():
-            for index, first in enumerate(records):
-                for second in records[index + 1 :]:
-                    if first.txn_id == second.txn_id:
-                        continue
-                    kind = _conflicts(first.kind, second.kind)
-                    if kind is None:
-                        continue
-                    key = (first.txn_id, second.txn_id, item, kind)
-                    if key not in seen:
-                        seen.add(key)
-                        edges.append(
-                            ConflictEdge(first.txn_id, second.txn_id, item, kind)
-                        )
-    return edges
+    histories = [
+        [(record.txn_id, record.key, record.kind.value) for record in engine.access_log]
+        for engine in engines
+    ]
+    return conflict_edges_from_histories(histories, committed)
 
 
 def find_cycle(edges: Sequence[ConflictEdge]) -> Optional[List[str]]:
@@ -92,7 +109,8 @@ def find_cycle(edges: Sequence[ConflictEdge]) -> Optional[List[str]]:
     def dfs(node: str) -> Optional[List[str]]:
         colour[node] = GREY
         path.append(node)
-        for neighbour in adjacency[node]:
+        # Sorted: which cycle gets reported must not depend on set order.
+        for neighbour in sorted(adjacency[node]):
             if colour[neighbour] is GREY:
                 return path[path.index(neighbour) :] + [neighbour]
             if colour[neighbour] is WHITE:

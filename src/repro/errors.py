@@ -81,6 +81,24 @@ class AbortReason(enum.Enum):
     USER_ABORT = "user_abort"
 
 
+class VerificationError(ReproError):
+    """The trace sanitizer found protocol-conformance violations.
+
+    Raised by the opt-in ``CloudConfig.verify_traces`` hook at the end of a
+    workload run.  ``report`` is the full
+    :class:`repro.verify.report.VerificationReport`, so callers can render
+    the offending event slices.
+    """
+
+    def __init__(self, report: object) -> None:
+        violations = getattr(report, "violations", ())
+        codes = sorted({v.code for v in violations})
+        super().__init__(
+            f"trace verification failed: {len(violations)} violation(s) ({', '.join(codes)})"
+        )
+        self.report = report
+
+
 class TransactionAborted(ReproError):
     """Raised inside transaction-manager processes to unwind a transaction."""
 

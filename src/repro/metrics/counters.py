@@ -126,6 +126,33 @@ class ProofCacheCounters:
         return self.hits / self.lookups if self.lookups else 0.0
 
 
+class VerificationCounters:
+    """Trace-sanitizer accounting (see :mod:`repro.verify.conformance`).
+
+    Updated whenever the conformance checker runs over a recorded trace —
+    via the ``CloudConfig.verify_traces`` hook, ``Cluster.verify()``, or the
+    ``python -m repro.verify`` CLI.  Host-side only; never part of the
+    Table I complexity numbers.
+    """
+
+    def __init__(self) -> None:
+        self.runs = 0
+        self.events_checked = 0
+        self.transactions_checked = 0
+        self.violations = 0
+        self.violations_by_code: Counter = Counter()
+
+    def on_report(self, report: "object") -> None:
+        """Fold one :class:`repro.verify.report.VerificationReport` in."""
+        self.runs += 1
+        self.events_checked += getattr(report, "events_checked", 0)
+        self.transactions_checked += getattr(report, "transactions_checked", 0)
+        violations = getattr(report, "violations", ())
+        self.violations += len(violations)
+        for violation in violations:
+            self.violations_by_code[violation.code] += 1
+
+
 class Metrics:
     """Bundle of all counters for one simulation."""
 
@@ -133,6 +160,8 @@ class Metrics:
         self.messages = MessageCounters()
         self.proofs = ProofCounters()
         self.proof_cache = ProofCacheCounters()
+        #: Trace-sanitizer results (runs, events checked, violations).
+        self.verification = VerificationCounters()
         #: Inference-engine work accounting (facts scanned, rules tried,
         #: table hits, …), accumulated across every uncached proof
         #: evaluation the servers run.  Host-side accounting only — never

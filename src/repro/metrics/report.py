@@ -70,10 +70,24 @@ def format_counters_report(metrics: Any) -> str:
         ("hit rate", f"{cache.hit_rate:.1%}"),
     ]
     engine_rows = sorted(metrics.engine.snapshot().items())
-    return "\n".join(
-        [
-            format_table(("counter", "value"), cache_rows, title="proof cache"),
-            "",
-            format_table(("counter", "value"), engine_rows, title="inference engine"),
+    parts = [
+        format_table(("counter", "value"), cache_rows, title="proof cache"),
+        "",
+        format_table(("counter", "value"), engine_rows, title="inference engine"),
+    ]
+    verification = getattr(metrics, "verification", None)
+    if verification is not None and verification.runs:
+        verify_rows = [
+            ("runs", verification.runs),
+            ("events checked", verification.events_checked),
+            ("transactions checked", verification.transactions_checked),
+            ("violations", verification.violations),
         ]
-    )
+        verify_rows.extend(
+            (f"violations[{code}]", count)
+            for code, count in sorted(verification.violations_by_code.items())
+        )
+        parts.extend(
+            ["", format_table(("counter", "value"), verify_rows, title="trace sanitizer")]
+        )
+    return "\n".join(parts)

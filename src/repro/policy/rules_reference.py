@@ -17,14 +17,14 @@ Do not optimize this module.  Its value is being boring.
 from __future__ import annotations
 
 import itertools
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 from repro.policy.rules import (
     MAX_DEPTH,
     Atom,
+    EngineCounters,
     FactBase,
     ProofNode,
-    Rule,
     RuleSet,
     Substitution,
     node_substitute,
@@ -40,7 +40,12 @@ class NaiveRuleSet(RuleSet):
     :func:`naive_view` to borrow an existing rule set's rules.
     """
 
-    def prove(self, goal: Atom, facts: FactBase, counters=None) -> Optional[ProofNode]:
+    def prove(
+        self,
+        goal: Atom,
+        facts: FactBase,
+        counters: Optional[EngineCounters] = None,
+    ) -> Optional[ProofNode]:
         """Return a derivation of ``goal`` from ``facts``, or ``None``.
 
         ``counters`` is accepted for signature compatibility with the
@@ -90,7 +95,7 @@ class NaiveRuleSet(RuleSet):
         counter: Iterator[int],
         depth: int,
         stack: Tuple[Atom, ...],
-    ):
+    ) -> Iterator[Tuple[Substitution, List[ProofNode]]]:
         if not body:
             yield subst, []
             return

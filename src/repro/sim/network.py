@@ -19,7 +19,7 @@ import abc
 import random
 from dataclasses import dataclass, field
 from itertools import count
-from typing import Any, Dict, Generator, List, Mapping, Optional, Set, Tuple
+from typing import Any, Dict, Generator, Mapping, Optional, Set, Tuple
 
 from repro.errors import NetworkError, RequestTimeout, SimulationError
 from repro.sim.events import Event
@@ -165,6 +165,16 @@ class Node:
         return self.network
 
 
+def _correlation(payload: Mapping[str, Any]) -> Dict[str, Any]:
+    """Transaction/query correlation keys a payload carries, if any."""
+    extra: Dict[str, Any] = {}
+    for key in ("txn_id", "query_id"):
+        value = payload.get(key)
+        if value is not None:
+            extra[key] = value
+    return extra
+
+
 class Network:
     """Delivers messages between registered nodes."""
 
@@ -178,7 +188,7 @@ class Network:
         drop_rate: float = 0.0,
     ) -> None:
         self.env = env
-        self.rng = rng or random.Random(0)
+        self.rng = rng or random.Random(0)  # verify: ignore[DET005] -- seeded default keeps un-wired networks deterministic
         self.latency = latency or FixedLatency(1.0)
         self.tracer = tracer
         #: Optional object with an ``on_message(message)`` method (metrics).
@@ -252,8 +262,16 @@ class Network:
         if self.message_hook is not None:
             self.message_hook.on_message(message)
         if self.tracer is not None:
+            # txn_id/query_id (when the payload carries them) let offline
+            # checkers correlate wire traffic per transaction.
             self.tracer.record(
-                self.env.now, "net.send", src=src, dst=dst, kind=kind, msg_category=category
+                self.env.now,
+                "net.send",
+                src=src,
+                dst=dst,
+                kind=kind,
+                msg_category=category,
+                **_correlation(message.payload),
             )
         dropped = (
             (src, dst) in self.failed_links
@@ -278,6 +296,7 @@ class Network:
                 dst=message.dst,
                 kind=message.kind,
                 msg_category=message.category,
+                **_correlation(message.payload),
             )
         if message.reply_to is not None:
             # A reply resolves its pending request; replies to fire-and-forget

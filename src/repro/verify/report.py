@@ -1,0 +1,148 @@
+"""Violation and report types for the trace sanitizer.
+
+Every conformance check reports :class:`Violation` records: a stable code
+(grep-able, suppression-independent), the transaction it concerns, a
+human-readable message, and the ids of the offending events plus a minimal
+event slice so the evidence renders without re-opening the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.verify.events import VerifyEvent
+
+# -- violation codes ----------------------------------------------------------
+# 2PC/2PVC state machines (Algorithm 2; Fig. 7)
+SM_COMMIT_AFTER_NO = "2pvc.commit-after-no"
+SM_COMMIT_WITHOUT_VOTE = "2pvc.commit-without-vote"
+SM_VOTE_AFTER_DECISION = "2pvc.vote-after-decision"
+SM_DECISION_CONFLICT = "2pvc.decision-conflict"
+SM_COMMIT_FALSE_TRUTH = "2pvc.commit-false-truth"
+SM_VERSION_DISAGREEMENT = "2pvc.version-disagreement"
+# Consistency classification (Defs. 2-4)
+CONSISTENCY_PHI = "consistency.phi"
+CONSISTENCY_PSI = "consistency.psi"
+CONSISTENCY_UNSAFE_COMMIT = "consistency.unsafe-commit"
+# Proof freshness per approach (Defs. 5-9)
+FRESHNESS_DEFERRED = "freshness.deferred"
+FRESHNESS_PUNCTUAL = "freshness.punctual"
+FRESHNESS_INCREMENTAL = "freshness.incremental"
+FRESHNESS_CONTINUOUS = "freshness.continuous"
+# Lock discipline (strict 2PL)
+LOCK_ACCESS_WITHOUT_LOCK = "locks.access-without-lock"
+LOCK_MODE_MISMATCH = "locks.mode-mismatch"
+LOCK_GRANT_AFTER_RELEASE = "locks.grant-after-release"
+LOCK_UNRELEASED = "locks.unreleased"
+# WAL ordering (Section V-C; write-ahead rule)
+WAL_VOTE_BEFORE_PREPARED = "wal.vote-before-prepared"
+WAL_DECISION_ORDER = "wal.decision-order"
+WAL_APPLY_WITHOUT_COMMIT = "wal.apply-without-commit"
+WAL_END_BEFORE_DECISION = "wal.end-before-decision"
+# Isolation
+SERIALIZABILITY_CYCLE = "serializability.cycle"
+
+#: Every code the checker can emit, for ``--list-checks`` style output.
+ALL_CODES: Tuple[str, ...] = (
+    SM_COMMIT_AFTER_NO,
+    SM_COMMIT_WITHOUT_VOTE,
+    SM_VOTE_AFTER_DECISION,
+    SM_DECISION_CONFLICT,
+    SM_COMMIT_FALSE_TRUTH,
+    SM_VERSION_DISAGREEMENT,
+    CONSISTENCY_PHI,
+    CONSISTENCY_PSI,
+    CONSISTENCY_UNSAFE_COMMIT,
+    FRESHNESS_DEFERRED,
+    FRESHNESS_PUNCTUAL,
+    FRESHNESS_INCREMENTAL,
+    FRESHNESS_CONTINUOUS,
+    LOCK_ACCESS_WITHOUT_LOCK,
+    LOCK_MODE_MISMATCH,
+    LOCK_GRANT_AFTER_RELEASE,
+    LOCK_UNRELEASED,
+    WAL_VOTE_BEFORE_PREPARED,
+    WAL_DECISION_ORDER,
+    WAL_APPLY_WITHOUT_COMMIT,
+    WAL_END_BEFORE_DECISION,
+    SERIALIZABILITY_CYCLE,
+)
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One conformance violation with its minimal evidence slice."""
+
+    code: str
+    txn_id: str
+    message: str
+    event_ids: Tuple[int, ...] = ()
+    #: The offending events themselves, pre-rendered for reporting.
+    slice: Tuple[VerifyEvent, ...] = ()
+
+    def format(self) -> str:
+        lines = [f"{self.code}  txn={self.txn_id}  {self.message}"]
+        for event in self.slice:
+            lines.append(f"    {event.describe()}")
+        return "\n".join(lines)
+
+
+@dataclass
+class VerificationReport:
+    """The result of one conformance pass over a :class:`RunRecord`."""
+
+    violations: List[Violation] = field(default_factory=list)
+    events_checked: int = 0
+    transactions_checked: int = 0
+    checks_run: Tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def codes(self) -> List[str]:
+        """Sorted distinct violation codes (stable test interface)."""
+        return sorted({violation.code for violation in self.violations})
+
+    def by_code(self) -> Dict[str, List[Violation]]:
+        grouped: Dict[str, List[Violation]] = {}
+        for violation in self.violations:
+            grouped.setdefault(violation.code, []).append(violation)
+        return grouped
+
+    def format(self) -> str:
+        header = (
+            f"trace sanitizer: {len(self.violations)} violation(s) over "
+            f"{self.transactions_checked} transaction(s), "
+            f"{self.events_checked} event(s), {len(self.checks_run)} check(s)"
+        )
+        if self.ok:
+            return header
+        parts = [header]
+        for violation in self.violations:
+            parts.append(violation.format())
+        return "\n".join(parts)
+
+
+def make_violation(
+    code: str,
+    txn_id: str,
+    message: str,
+    events: Sequence[VerifyEvent] = (),
+) -> Violation:
+    """Build a violation, deduplicating and ordering its evidence slice."""
+    ordered: List[VerifyEvent] = []
+    seen = set()
+    for event in events:
+        if event.event_id not in seen:
+            seen.add(event.event_id)
+            ordered.append(event)
+    ordered.sort(key=lambda event: event.event_id)
+    return Violation(
+        code=code,
+        txn_id=txn_id,
+        message=message,
+        event_ids=tuple(event.event_id for event in ordered),
+        slice=tuple(ordered),
+    )

@@ -35,6 +35,9 @@ class OpenLoopRunner:
     consistency: ConsistencyLevel = ConsistencyLevel.VIEW
     outcomes: List[TransactionOutcome] = field(default_factory=list)
     assignments: Dict[str, str] = field(default_factory=dict)
+    #: Set by :meth:`run` when ``CloudConfig.verify_traces`` is on — the
+    #: :class:`repro.verify.report.VerificationReport` of the finished run.
+    verification_report: Optional[object] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.approach, str):
@@ -76,6 +79,10 @@ class OpenLoopRunner:
             self.cluster.env.run(until=self.cluster.env.all_of(done_events))
         if until is not None:
             self.cluster.env.run(until=until)
+        if self.cluster.config.verify_traces:
+            # Opt-in conformance pass over the finished run's trace; raises
+            # repro.errors.VerificationError if any invariant is violated.
+            self.verification_report = self.cluster.verify(raise_on_violation=True)
         return list(self.outcomes)
 
     def _collect(self, event: Event) -> None:

@@ -157,6 +157,27 @@ class Cluster:
         """Advance the whole simulation."""
         self.env.run(until=until)
 
+    # -- verification ------------------------------------------------------------
+
+    def verify(self, raise_on_violation: bool = False) -> Any:
+        """Run the trace sanitizer over everything recorded so far.
+
+        Collects the cluster's trace, WALs, and storage access logs into a
+        :class:`repro.verify.events.RunRecord`, checks every conformance
+        invariant (see docs/correctness.md), folds the result into
+        ``metrics.verification``, and returns the
+        :class:`repro.verify.report.VerificationReport`.
+        """
+        # Local import: repro.verify is a consumer layer above the testbed.
+        from repro.errors import VerificationError
+        from repro.verify import verify_cluster
+
+        report = verify_cluster(self)
+        self.metrics.verification.on_report(report)
+        if raise_on_violation and report.violations:
+            raise VerificationError(report)
+        return report
+
 
 @dataclass(frozen=True)
 class ServerSpec:

@@ -19,7 +19,7 @@ Two kinds of successors:
 from __future__ import annotations
 
 import random
-from typing import Generator, Iterable, List, Optional, Sequence
+from typing import Generator, List, Optional, Sequence
 
 from repro.policy.policy import Policy
 from repro.policy.rules import Atom, Rule, RuleSet, Variable
@@ -94,7 +94,7 @@ class PolicyUpdateProcess:
         self.cluster = cluster
         self.admin_name = admin_name
         self.interval = interval
-        self.rng = rng or random.Random(0)
+        self.rng = rng or random.Random(0)  # verify: ignore[DET005] -- seeded default keeps un-wired injectors deterministic
         self.jitter = jitter
         self.restrict_to_role = restrict_to_role
         self.count = count

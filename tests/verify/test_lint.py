@@ -1,0 +1,330 @@
+"""Determinism-linter tests: every rule fires, scoping and suppression work.
+
+Synthetic modules are written under a ``repro/``-rooted temp tree so the
+scope resolution (``module_name_for``) behaves exactly as it does over
+``src/repro``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import textwrap
+
+from repro.verify import lint
+
+
+def lint_source(tmp_path: pathlib.Path, relpath: str, source: str):
+    path = tmp_path.joinpath(*relpath.split("/"))
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return lint.lint_file(path)
+
+
+def active_codes(findings):
+    return sorted(f.code for f in findings if not f.suppressed)
+
+
+# -- DET001: wall clocks -------------------------------------------------------
+
+
+def test_wall_clock_in_simulated_code_is_flagged(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "repro/sim/clocky.py",
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+    )
+    assert active_codes(findings) == ["DET001"]
+
+
+def test_wall_clock_via_from_import_is_flagged(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "repro/cloud/clocky.py",
+        """
+        from time import perf_counter
+
+        def stamp():
+            return perf_counter()
+        """,
+    )
+    assert active_codes(findings) == ["DET001"]
+
+
+def test_datetime_now_is_flagged(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "repro/db/clocky.py",
+        """
+        import datetime
+
+        def stamp():
+            return datetime.datetime.now()
+        """,
+    )
+    assert active_codes(findings) == ["DET001"]
+
+
+def test_wall_clock_outside_simulated_scope_is_allowed(tmp_path):
+    """Host-side code (metrics, benches) may read real clocks."""
+    findings = lint_source(
+        tmp_path,
+        "repro/metrics/clocky.py",
+        """
+        import time
+
+        def stamp():
+            return time.time()
+        """,
+    )
+    assert active_codes(findings) == []
+
+
+# -- DET002: global random module ----------------------------------------------
+
+
+def test_global_random_call_is_flagged(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "repro/metrics/sampler.py",
+        """
+        import random
+
+        JITTER = random.random()
+        """,
+    )
+    assert active_codes(findings) == ["DET002"]
+
+
+# -- DET003: set iteration -----------------------------------------------------
+
+
+def test_for_loop_over_set_call_is_flagged(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "repro/db/iterate.py",
+        """
+        def drain(items):
+            out = []
+            for item in set(items):
+                out.append(item)
+            return out
+        """,
+    )
+    assert active_codes(findings) == ["DET003"]
+
+
+def test_iteration_over_set_annotated_attribute_is_flagged(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "repro/cloud/pending.py",
+        """
+        from typing import Set
+
+        class Tracker:
+            pending: Set[str]
+
+            def order(self):
+                return [item for item in self.pending]
+        """,
+    )
+    assert active_codes(findings) == ["DET003"]
+
+
+def test_sorted_wrapped_set_iteration_is_allowed(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "repro/db/iterate.py",
+        """
+        def drain(items):
+            return sorted(item for item in set(items))
+        """,
+    )
+    assert active_codes(findings) == []
+
+
+def test_set_to_set_comprehension_is_allowed(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "repro/db/iterate.py",
+        """
+        def upper(items):
+            return {item.upper() for item in set(items)}
+        """,
+    )
+    assert active_codes(findings) == []
+
+
+def test_set_iteration_outside_traced_scope_is_allowed(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "repro/metrics/iterate.py",
+        """
+        def drain(items):
+            return [item for item in set(items)]
+        """,
+    )
+    assert active_codes(findings) == []
+
+
+# -- DET004: frozen message/record dataclasses ---------------------------------
+
+
+def test_mutable_message_dataclass_is_flagged(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "repro/cloud/wire.py",
+        """
+        from dataclasses import dataclass
+
+        @dataclass
+        class PingMessage:
+            payload: str
+        """,
+    )
+    assert active_codes(findings) == ["DET004"]
+
+
+def test_frozen_message_dataclass_is_allowed(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "repro/cloud/wire.py",
+        """
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class PongMessage:
+            payload: str
+
+        @dataclass
+        class ScratchBuffer:
+            payload: str
+        """,
+    )
+    assert active_codes(findings) == []
+
+
+# -- DET005: RNG construction --------------------------------------------------
+
+
+def test_random_construction_is_flagged(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "repro/cloud/randomness.py",
+        """
+        import random
+
+        def make_rng():
+            return random.Random(42)
+        """,
+    )
+    assert active_codes(findings) == ["DET005"]
+
+
+def test_random_construction_inside_rng_module_is_exempt(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "repro/sim/rng.py",
+        """
+        import random
+
+        def make_rng(seed):
+            return random.Random(seed)
+        """,
+    )
+    assert active_codes(findings) == []
+
+
+# -- suppression ---------------------------------------------------------------
+
+
+def test_targeted_suppression_hides_one_code(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "repro/cloud/randomness.py",
+        """
+        import random
+
+        def make_rng():
+            return random.Random(7)  # verify: ignore[DET005] -- test fixture
+        """,
+    )
+    assert active_codes(findings) == []
+    assert [f.code for f in findings if f.suppressed] == ["DET005"]
+
+
+def test_suppression_for_other_code_does_not_apply(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "repro/cloud/randomness.py",
+        """
+        import random
+
+        def make_rng():
+            return random.Random(7)  # verify: ignore[DET001] -- wrong code
+        """,
+    )
+    assert active_codes(findings) == ["DET005"]
+
+
+def test_bare_suppression_hides_everything_on_the_line(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "repro/sim/clocky.py",
+        """
+        import time
+
+        def stamp():
+            return time.time()  # verify: ignore -- fixture
+        """,
+    )
+    assert active_codes(findings) == []
+    assert len(findings) == 1 and findings[0].suppressed
+
+
+# -- CLI and tree-wide gate ----------------------------------------------------
+
+
+def test_main_exits_nonzero_on_findings(tmp_path, capsys):
+    path = tmp_path / "repro" / "sim" / "clocky.py"
+    path.parent.mkdir(parents=True)
+    path.write_text("import time\n\nDELTA = time.time()\n", encoding="utf-8")
+    assert lint.main([str(path)]) == 1
+    out = capsys.readouterr().out
+    assert "DET001" in out
+    assert "1 finding(s)" in out
+
+
+def test_main_exits_zero_on_clean_file(tmp_path, capsys):
+    path = tmp_path / "repro" / "sim" / "fine.py"
+    path.parent.mkdir(parents=True)
+    path.write_text("VALUE = 1\n", encoding="utf-8")
+    assert lint.main([str(path)]) == 0
+
+
+def test_list_rules_covers_every_code(capsys):
+    assert lint.main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in lint.RULES:
+        assert code in out
+
+
+def test_module_name_resolution():
+    assert (
+        lint.module_name_for(pathlib.Path("src/repro/cloud/server.py"))
+        == "repro.cloud.server"
+    )
+    assert lint.module_name_for(pathlib.Path("src/repro/__init__.py")) == "repro"
+
+
+def test_source_tree_is_lint_clean():
+    """The shipped package must pass its own linter (the CI gate)."""
+    findings = lint.lint_paths([lint.default_root()])
+    active = [f for f in findings if not f.suppressed]
+    assert active == [], "\n".join(f.format() for f in active)
+    # Intentional suppressions exist and each carries a justification.
+    assert any(f.suppressed for f in findings)
