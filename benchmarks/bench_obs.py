@@ -1,0 +1,210 @@
+"""Wall-clock benchmark for the span-tracing subsystem (``repro.obs``).
+
+Measures, on the host clock:
+
+* **recording overhead** — end-to-end wall-clock of a Continuous workload
+  with ``CloudConfig.obs_spans`` off vs on at the default sampling rate
+  (1.0).  Spans are default-on in the testbed, so this ratio is the price
+  every simulation pays; the CI gate holds it at ≤ 1.20x.
+* **sampling** — the same workload at a 0.2 sampling rate, to show the
+  knob works (fewer spans, overhead between off and fully on).
+* **analysis throughput** — spans/second of the pure post-run passes:
+  well-formedness checking, critical-path attribution, and OpenMetrics
+  rendering over the recorded run.
+
+Every measured run must come back with zero span-tree problems — a
+malformed trace is a correctness failure, not a benchmark result, and
+exits non-zero.
+
+Writes ``BENCH_obs.json`` (repo root by default).  Run:
+
+    PYTHONPATH=src python benchmarks/bench_obs.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.cloud.config import CloudConfig
+from repro.core.consistency import ConsistencyLevel
+from repro.obs.critical import attribute_latency
+from repro.obs.crosscheck import crosscheck_spans
+from repro.obs.openmetrics import render_openmetrics
+from repro.obs.spans import check_all_trees
+from repro.workloads.generator import (
+    WorkloadSpec,
+    poisson_arrivals,
+    uniform_transactions,
+)
+from repro.workloads.runner import OpenLoopRunner
+from repro.workloads.testbed import build_cluster
+
+SEED = 61
+
+
+def run_workload(
+    quick: bool,
+    obs_spans: bool,
+    sample_rate: float = 1.0,
+    approach: str = "continuous",
+) -> Any:
+    """One seeded open-loop workload with benign churn; returns the cluster."""
+    from repro.workloads.updates import PolicyUpdateProcess
+
+    n_txns = 10 if quick else 30
+    cluster = build_cluster(
+        n_servers=3,
+        items_per_server=4,
+        seed=SEED,
+        config=CloudConfig(obs_spans=obs_spans, obs_sample_rate=sample_rate),
+    )
+    credential = cluster.issue_role_credential("alice")
+    spec = WorkloadSpec(txn_length=3, read_fraction=0.7, count=n_txns, user="alice")
+    txns = uniform_transactions(
+        spec, cluster.catalog, cluster.rng.stream("workload"), [credential]
+    )
+    arrivals = poisson_arrivals(
+        cluster.rng.stream("arrivals"), rate=0.05, count=len(txns)
+    )
+    PolicyUpdateProcess(
+        cluster,
+        "app",
+        interval=40.0,
+        rng=cluster.rng.stream("updates"),
+        mode="benign",
+        count=max(2, n_txns // 3),
+    ).start()
+    OpenLoopRunner(cluster, approach, ConsistencyLevel.VIEW).run(txns, arrivals)
+    return cluster
+
+
+def _span_count(cluster: Any) -> int:
+    return len(cluster.obs)
+
+
+def _problem_count(cluster: Any) -> int:
+    problems = check_all_trees(cluster.obs)
+    problems.extend(crosscheck_spans(cluster.obs, cluster.tracer))
+    for problem in problems:
+        print(f"PROBLEM: {problem}", file=sys.stderr)
+    return len(problems)
+
+
+def measure_recording_overhead(quick: bool, repeats: int) -> Dict[str, Any]:
+    """Wall-clock of a Continuous workload with spans off vs on vs sampled."""
+    result: Dict[str, Any] = {"approach": "continuous", "problems": 0}
+
+    def timed(obs_spans: bool, sample_rate: float, key: str) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            cluster = run_workload(quick, obs_spans, sample_rate)
+            best = min(best, time.perf_counter() - start)
+            if obs_spans:
+                result["problems"] += _problem_count(cluster)
+                result[f"{key}_spans"] = _span_count(cluster)
+        return best
+
+    baseline = timed(False, 1.0, "off")
+    traced = timed(True, 1.0, "on")
+    sampled = timed(True, 0.2, "sampled")
+    result.update(
+        {
+            "baseline_seconds": round(baseline, 6),
+            "traced_seconds": round(traced, 6),
+            "sampled_seconds": round(sampled, 6),
+            "overhead_seconds": round(traced - baseline, 6),
+            "overhead_ratio": round(traced / baseline, 4),
+            "sampled_overhead_ratio": round(sampled / baseline, 4),
+            "sample_rate": 0.2,
+        }
+    )
+    return result
+
+
+def measure_analysis_throughput(quick: bool, repeats: int) -> Dict[str, Any]:
+    """spans/sec of the pure post-run passes over one recorded run."""
+    cluster = run_workload(quick, obs_spans=True)
+    recorder = cluster.obs
+    n_spans = _span_count(cluster)
+
+    def best_of(fn: Any) -> float:
+        fn()  # warm-up
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    check = best_of(lambda: check_all_trees(recorder))
+    attribute = best_of(
+        lambda: [attribute_latency(recorder.tree(t)) for t in recorder.traces()]
+    )
+    render = best_of(lambda: render_openmetrics(cluster.metrics, recorder))
+    return {
+        "spans": n_spans,
+        "traces": len(list(recorder.traces())),
+        "check_seconds": round(check, 6),
+        "check_spans_per_second": round(n_spans / check) if check else None,
+        "attribute_seconds": round(attribute, 6),
+        "attribute_spans_per_second": round(n_spans / attribute) if attribute else None,
+        "openmetrics_seconds": round(render, 6),
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized workloads")
+    parser.add_argument(
+        "--out",
+        default=str(pathlib.Path(__file__).resolve().parent.parent / "BENCH_obs.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument("--repeats", type=int, default=None, help="timing repeats (best-of)")
+    parser.add_argument(
+        "--max-overhead", type=float, default=None,
+        help="fail if overhead_ratio exceeds this (the CI gate passes 1.20)",
+    )
+    args = parser.parse_args(argv)
+    repeats = args.repeats if args.repeats is not None else (2 if args.quick else 5)
+
+    report = {
+        "bench": "obs",
+        "quick": bool(args.quick),
+        "workload": {
+            "n_servers": 3,
+            "txn_length": 3,
+            "n_transactions": 10 if args.quick else 30,
+            "update_interval": 40.0,
+            "seed": SEED,
+        },
+        "recording_overhead": measure_recording_overhead(args.quick, repeats),
+        "analysis_throughput": measure_analysis_throughput(args.quick, repeats),
+    }
+    clean = report["recording_overhead"]["problems"] == 0
+    report["all_trees_well_formed"] = clean
+
+    out_path = pathlib.Path(args.out)
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(report, indent=2))
+    print(f"\nwrote {out_path}")
+    if not clean:
+        print("SPAN TREES MALFORMED", file=sys.stderr)
+        return 1
+    ratio = report["recording_overhead"]["overhead_ratio"]
+    if args.max_overhead is not None and ratio > args.max_overhead:
+        print(
+            f"OVERHEAD GATE FAILED: {ratio} > {args.max_overhead}", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -92,6 +92,16 @@ class CloudConfig:
     #: :class:`repro.errors.VerificationError`.  Off by default — it is a
     #: correctness harness, not part of the simulated system.
     verify_traces: bool = False
+    #: Record causal spans (:mod:`repro.obs`) for critical-path latency
+    #: attribution.  Default-on: spans are host-side observability only —
+    #: they never consume simulated time or touch Table I counters — and
+    #: the measured wall-clock overhead is small (see BENCH_obs.json and
+    #: docs/observability.md).
+    obs_spans: bool = True
+    #: Fraction of transactions whose spans are recorded.  Sampling is
+    #: deterministic per transaction id (crc32 hash), so the same
+    #: transactions are sampled on every run; 1.0 records everything.
+    obs_sample_rate: float = 1.0
 
     def scaled(self, factor: float) -> "CloudConfig":
         """A copy with every local service time scaled by ``factor``."""

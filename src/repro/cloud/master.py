@@ -17,10 +17,11 @@ under ``CAT_MASTER`` while the reply travels in a non-protocol category.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.cloud import messages as msg
 from repro.errors import PolicyError
+from repro.obs.spans import KIND_SERVER, NULL_RECORDER, SpanRecorder
 from repro.policy.admin import PolicyAdministrator
 from repro.policy.policy import Policy, PolicyId
 from repro.sim.network import Message, Node
@@ -33,8 +34,9 @@ MASTER_REPLY_CATEGORY = "master.reply"
 class MasterVersionService(Node):
     """Knows the latest policy version (and body) per administrative domain."""
 
-    def __init__(self, name: str = "master") -> None:
+    def __init__(self, name: str = "master", obs: Optional[SpanRecorder] = None) -> None:
         super().__init__(name)
+        self.obs = obs if obs is not None else NULL_RECORDER
         self._latest: Dict[PolicyId, Policy] = {}
         #: Publication timeline per admin domain: ``(sim time, version)`` in
         #: publication order.  The authoritative ``ver(P)`` history — the
@@ -86,6 +88,20 @@ class MasterVersionService(Node):
             selected = dict(self._latest)
         else:
             selected = {pid: self._latest[pid] for pid in wanted if pid in self._latest}
+        # The lookup is instantaneous in simulated time; the zero-duration
+        # span still marks *when* the master answered on the waterfall.
+        parent = message.get("span_ctx")
+        if parent is not None:
+            span = self.obs.start(
+                message.get("txn_id"),
+                "master.version",
+                KIND_SERVER,
+                self.name,
+                self.env.now,
+                parent=parent,
+                domains=len(selected),
+            )
+            self.obs.finish(span, self.env.now)
         self.reply(
             message,
             msg.MASTER_VERSION_REPLY,

@@ -25,6 +25,16 @@ from repro.db.wal import LogRecordType, WriteAheadLog
 from repro.errors import DeadlockError, PolicyError
 from repro.metrics.counters import Metrics
 from repro.metrics.timeline import PROOF_EVAL
+from repro.obs.spans import (
+    KIND_CPU,
+    KIND_LOG,
+    KIND_PROOF,
+    KIND_SERVER,
+    NULL_RECORDER,
+    ParentRef,
+    Span,
+    SpanRecorder,
+)
 from repro.policy.credentials import CARegistry, CertificateAuthority, Credential
 from repro.policy.ocsp import fetch_statuses
 from repro.policy.policy import Operation, Policy, PolicyId
@@ -77,6 +87,7 @@ class CloudServer(Node):
         registry: CARegistry,
         metrics: Metrics,
         tracer: Optional[Tracer] = None,
+        obs: Optional[SpanRecorder] = None,
         default_admin: str = "app",
         domain_of: Optional[Dict[str, str]] = None,
     ) -> None:
@@ -85,6 +96,7 @@ class CloudServer(Node):
         self.registry = registry
         self.metrics = metrics
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.obs = obs if obs is not None else NULL_RECORDER
         self.storage = StorageEngine(name)
         self.constraints = ConstraintSet()
         self.policies = PolicyStore()
@@ -122,7 +134,7 @@ class CloudServer(Node):
     def _lock_manager(self) -> LockManager:
         if self.locks is None:
             assert self.env is not None, "server must be registered with a network"
-            self.locks = LockManager(self.env, self.name, tracer=self.tracer)
+            self.locks = LockManager(self.env, self.name, tracer=self.tracer, obs=self.obs)
         return self.locks
 
     def _cpu_resource(self) -> Optional[Resource]:
@@ -136,21 +148,36 @@ class CloudServer(Node):
             )
         return self._cpu
 
-    def _consume_cpu(self, duration: float) -> Generator[Event, Any, None]:
+    def _consume_cpu(
+        self,
+        duration: float,
+        trace_id: Optional[str] = None,
+        parent: ParentRef = None,
+        name: str = "cpu",
+    ) -> Generator[Event, Any, None]:
         """Spend ``duration`` of compute, holding one slot if bounded.
 
         Slots are held only for compute, never across lock waits or
         network round trips, so capacity cannot deadlock against 2PL.
+        With a ``trace_id``/``parent`` the stretch — including any wait for
+        a compute slot — is recorded as a ``cpu`` span.
         """
+        span = (
+            self.obs.start(trace_id, name, KIND_CPU, self.name, self.env.now, parent=parent)
+            if parent is not None
+            else None
+        )
         cpu = self._cpu_resource()
         if cpu is None:
             yield self.env.timeout(duration)
+            self.obs.finish(span, self.env.now)
             return
         yield cpu.acquire()
         try:
             yield self.env.timeout(duration)
         finally:
             cpu.release()
+            self.obs.finish(span, self.env.now)
 
     # -- setup helpers -----------------------------------------------------------
 
@@ -187,6 +214,23 @@ class CloudServer(Node):
         predicate = f"{operation.value}_capability"
         return self.authority.issue(user, Atom(predicate, (user, item)), now, expires_at)
 
+    def _handler_span(self, message: Message, name: str, **attrs: Any) -> Optional[Span]:
+        """Open a participant-side handler span under the coordinator's
+        embedded span context; ``None`` when the message carries none (the
+        trace is unsampled, or the sender was not instrumented)."""
+        parent = message.get("span_ctx")
+        if parent is None:
+            return None
+        return self.obs.start(
+            message.get("txn_id"),
+            name,
+            KIND_SERVER,
+            self.name,
+            self.env.now,
+            parent=parent,
+            **attrs,
+        )
+
     # -- message dispatch ------------------------------------------------------------
 
     def handle_message(self, message: Message) -> Optional[Generator[Event, Any, Any]]:
@@ -214,13 +258,40 @@ class CloudServer(Node):
         credentials: Tuple[Credential, ...] = tuple(message["credentials"])
         evaluate: bool = message["evaluate_proof"]
 
-        state = self._txns.setdefault(txn_id, _TxnState(txn_id, coordinator=message.src))
-        locks = self._lock_manager()
-        mode = LockMode.EXCLUSIVE if query.operation is Operation.WRITE else LockMode.SHARED
-        for item in query.items:
-            try:
-                yield locks.acquire(txn_id, item, mode)
-            except DeadlockError as error:
+        span = self._handler_span(message, "server.execute", query_id=query.query_id)
+        try:
+            state = self._txns.setdefault(txn_id, _TxnState(txn_id, coordinator=message.src))
+            locks = self._lock_manager()
+            mode = (
+                LockMode.EXCLUSIVE if query.operation is Operation.WRITE else LockMode.SHARED
+            )
+            for item in query.items:
+                try:
+                    yield locks.acquire(txn_id, item, mode, span=span)
+                except DeadlockError as error:
+                    self._rollback_local(txn_id)
+                    self.reply(
+                        message,
+                        msg.QUERY_DENIED,
+                        msg.CAT_QUERY,
+                        txn_id=txn_id,
+                        query_id=query.query_id,
+                        reason="deadlock",
+                        detail=str(error),
+                    )
+                    return
+
+            yield from self._consume_cpu(
+                self.config.query_execution_time,
+                trace_id=txn_id,
+                parent=span,
+                name="cpu.query",
+            )
+
+            # A global abort may have arrived while this handler was waiting on
+            # locks or executing; in that case the transaction's state is gone
+            # and we must not recreate workspaces or locks for it.
+            if self._txns.get(txn_id) is not state:
                 self._rollback_local(txn_id)
                 self.reply(
                     message,
@@ -228,70 +299,56 @@ class CloudServer(Node):
                     msg.CAT_QUERY,
                     txn_id=txn_id,
                     query_id=query.query_id,
-                    reason="deadlock",
-                    detail=str(error),
+                    reason="aborted",
+                    detail="transaction aborted during execution",
                 )
                 return
 
-        yield from self._consume_cpu(self.config.query_execution_time)
+            values: Dict[str, Any] = {}
+            if query.operation is Operation.READ:
+                for item in query.items:
+                    values[item] = self.storage.read(txn_id, item)
+            else:
+                for effect in query.effects:
+                    current = self.storage.read(txn_id, effect.key)
+                    updated = effect.apply(current)
+                    self.storage.write(txn_id, effect.key, updated)
+                    values[effect.key] = updated
 
-        # A global abort may have arrived while this handler was waiting on
-        # locks or executing; in that case the transaction's state is gone
-        # and we must not recreate workspaces or locks for it.
-        if self._txns.get(txn_id) is not state:
-            self._rollback_local(txn_id)
+            admin = self.admin_for(query)
+            executed = _ExecutedQuery(query, user, credentials, admin)
+            state.queries.append(executed)
+
+            proof: Optional[ProofOfAuthorization] = None
+            if evaluate:
+                proof = yield from self._evaluate(
+                    txn_id, executed, phase="execution", parent=span
+                )
+
+            capabilities: List[Credential] = []
+            if proof is not None and proof.granted and self.config.issue_capabilities:
+                for item in query.items:
+                    capabilities.append(
+                        self.issue_capability(user, item, query.operation, self.env.now)
+                    )
+
+            policy = self.policies.current(admin)
             self.reply(
                 message,
-                msg.QUERY_DENIED,
+                msg.QUERY_RESULT,
                 msg.CAT_QUERY,
                 txn_id=txn_id,
                 query_id=query.query_id,
-                reason="aborted",
-                detail="transaction aborted during execution",
+                values=values,
+                proof=proof,
+                granted=(proof.granted if proof is not None else None),
+                admin=admin,
+                version=policy.version,
+                policy=policy,
+                capabilities=capabilities,
             )
-            return
-
-        values: Dict[str, Any] = {}
-        if query.operation is Operation.READ:
-            for item in query.items:
-                values[item] = self.storage.read(txn_id, item)
-        else:
-            for effect in query.effects:
-                current = self.storage.read(txn_id, effect.key)
-                updated = effect.apply(current)
-                self.storage.write(txn_id, effect.key, updated)
-                values[effect.key] = updated
-
-        admin = self.admin_for(query)
-        executed = _ExecutedQuery(query, user, credentials, admin)
-        state.queries.append(executed)
-
-        proof: Optional[ProofOfAuthorization] = None
-        if evaluate:
-            proof = yield from self._evaluate(txn_id, executed, phase="execution")
-
-        capabilities: List[Credential] = []
-        if proof is not None and proof.granted and self.config.issue_capabilities:
-            for item in query.items:
-                capabilities.append(
-                    self.issue_capability(user, item, query.operation, self.env.now)
-                )
-
-        policy = self.policies.current(admin)
-        self.reply(
-            message,
-            msg.QUERY_RESULT,
-            msg.CAT_QUERY,
-            txn_id=txn_id,
-            query_id=query.query_id,
-            values=values,
-            proof=proof,
-            granted=(proof.granted if proof is not None else None),
-            admin=admin,
-            version=policy.version,
-            policy=policy,
-            capabilities=capabilities,
-        )
+        finally:
+            self.obs.finish(span, self.env.now)
 
     def _evaluate(
         self,
@@ -299,6 +356,7 @@ class CloudServer(Node):
         executed: _ExecutedQuery,
         phase: str,
         policy: Optional[Policy] = None,
+        parent: ParentRef = None,
     ) -> Generator[Event, Any, ProofOfAuthorization]:
         """Evaluate one proof of authorization.
 
@@ -306,8 +364,25 @@ class CloudServer(Node):
         latest locally installed policy otherwise.  Routes through the
         proof cache when enabled; a cached hit is semantically identical
         (same verdict, same simulated cost) but skips the host-side
-        signature and derivation work.
+        signature and derivation work.  ``parent`` roots the ``proof.eval``
+        span, which covers the OCSP round trip (if any) and the simulated
+        evaluation time — the whole stretch attributes to "proof" on the
+        critical path.
         """
+        span = (
+            self.obs.start(
+                txn_id,
+                "proof.eval",
+                KIND_PROOF,
+                self.name,
+                self.env.now,
+                parent=parent,
+                query_id=executed.query.query_id,
+                phase=phase,
+            )
+            if parent is not None
+            else None
+        )
         if self.config.use_online_ocsp:
             statuses = yield from fetch_statuses(
                 self, self.config.ocsp_responder, executed.credentials, self.env.now
@@ -335,6 +410,7 @@ class CloudServer(Node):
             registry=self.registry,
             revocation=checker,
             counters=self.metrics.engine,
+            obs_span=span,
         )
         executed.latest_proof = proof
         self.metrics.proofs.on_proof(self.name, txn_id)
@@ -349,6 +425,7 @@ class CloudServer(Node):
             version=proof.policy_version,
             admin=proof.policy_id.admin,
         )
+        self.obs.finish(span, self.env.now, granted=proof.granted, version=proof.policy_version)
         return proof
 
     def _naive_policy(self, policy: Policy) -> Policy:
@@ -366,7 +443,7 @@ class CloudServer(Node):
         return view
 
     def _validation_report(
-        self, txn_id: str
+        self, txn_id: str, parent: ParentRef = None
     ) -> Generator[Event, Any, Dict[str, Any]]:
         """(Re-)evaluate all this transaction's proofs; build the 2PV reply.
 
@@ -385,7 +462,11 @@ class CloudServer(Node):
                     snapshot[executed.admin] = self.policies.current(executed.admin)
             for executed in state.queries:
                 proof = yield from self._evaluate(
-                    txn_id, executed, phase="commit", policy=snapshot[executed.admin]
+                    txn_id,
+                    executed,
+                    phase="commit",
+                    policy=snapshot[executed.admin],
+                    parent=parent,
                 )
                 proofs.append(proof)
         truth = all(proof.granted for proof in proofs)
@@ -403,16 +484,27 @@ class CloudServer(Node):
 
     def _handle_prepare_to_validate(self, message: Message) -> Generator[Event, Any, None]:
         txn_id = message["txn_id"]
-        report = yield from self._validation_report(txn_id)
-        self.reply(message, msg.VALIDATE_REPLY, msg.CAT_VOTE, txn_id=txn_id, **report)
+        span = self._handler_span(message, "server.validate")
+        report: Optional[Dict[str, Any]] = None
+        try:
+            report = yield from self._validation_report(txn_id, parent=span)
+            self.reply(message, msg.VALIDATE_REPLY, msg.CAT_VOTE, txn_id=txn_id, **report)
+        finally:
+            self.obs.finish(
+                span, self.env.now, truth=report["truth"] if report is not None else None
+            )
 
     def _handle_policy_update(self, message: Message) -> Generator[Event, Any, None]:
         """Install pushed policies, re-evaluate, and report back (Alg. 1 step 10)."""
         txn_id = message["txn_id"]
-        for policy in message["policies"]:
-            self.policies.apply(policy)
-        report = yield from self._validation_report(txn_id)
-        self.reply(message, msg.POLICY_UPDATED, msg.CAT_UPDATE, txn_id=txn_id, **report)
+        span = self._handler_span(message, "server.update")
+        try:
+            for policy in message["policies"]:
+                self.policies.apply(policy)
+            report = yield from self._validation_report(txn_id, parent=span)
+            self.reply(message, msg.POLICY_UPDATED, msg.CAT_UPDATE, txn_id=txn_id, **report)
+        finally:
+            self.obs.finish(span, self.env.now)
 
     # -- 2PVC voting ---------------------------------------------------------------------
 
@@ -421,46 +513,63 @@ class CloudServer(Node):
         validate: bool = message["validate"]
         state = self._txns.get(txn_id)
 
-        yield from self._consume_cpu(self.config.constraint_check_time)
-        reader = self.storage.effective_reader(txn_id)
-        touched = (
-            set().union(*(set(executed.query.items) for executed in state.queries))
-            if state is not None and state.queries
-            else set()
-        )
-        integrity_ok, violated = self.constraints.check(reader, touched)
-        vote = Vote.YES if integrity_ok else Vote.NO
+        span = self._handler_span(message, "server.vote", validate=validate)
+        try:
+            yield from self._consume_cpu(
+                self.config.constraint_check_time,
+                trace_id=txn_id,
+                parent=span,
+                name="cpu.constraints",
+            )
+            reader = self.storage.effective_reader(txn_id)
+            touched = (
+                set().union(*(set(executed.query.items) for executed in state.queries))
+                if state is not None and state.queries
+                else set()
+            )
+            integrity_ok, violated = self.constraints.check(reader, touched)
+            vote = Vote.YES if integrity_ok else Vote.NO
 
-        if validate:
-            report = yield from self._validation_report(txn_id)
-        else:
-            report = {"truth": True, "versions": {}, "policies": {}, "proofs": []}
+            if validate:
+                report = yield from self._validation_report(txn_id, parent=span)
+            else:
+                report = {"truth": True, "versions": {}, "policies": {}, "proofs": []}
 
-        # "a participant must forcibly log the set of (vi, pi) tuples along
-        # with its vote and truth value" (Section V-C).
-        yield self.env.timeout(self.config.log_force_time)
-        self.wal.force(
-            LogRecordType.PREPARED,
-            txn_id,
-            self.env.now,
-            vote=vote.value,
-            truth=report["truth"],
-            versions={pid.admin: ver for pid, ver in report["versions"].items()},
-            writes=dict(self.storage.workspace(txn_id).writes),
-            coordinator=message.src,
-        )
-        if state is not None:
-            state.prepared = True
+            # "a participant must forcibly log the set of (vi, pi) tuples along
+            # with its vote and truth value" (Section V-C).
+            log_span = (
+                self.obs.start(
+                    txn_id, "log.force", KIND_LOG, self.name, self.env.now, parent=span
+                )
+                if span is not None
+                else None
+            )
+            yield self.env.timeout(self.config.log_force_time)
+            self.wal.force(
+                LogRecordType.PREPARED,
+                txn_id,
+                self.env.now,
+                vote=vote.value,
+                truth=report["truth"],
+                versions={pid.admin: ver for pid, ver in report["versions"].items()},
+                writes=dict(self.storage.workspace(txn_id).writes),
+                coordinator=message.src,
+            )
+            self.obs.finish(log_span, self.env.now, record="prepared")
+            if state is not None:
+                state.prepared = True
 
-        self.reply(
-            message,
-            msg.VOTE_REPLY,
-            msg.CAT_VOTE,
-            txn_id=txn_id,
-            vote=vote,
-            violated=violated,
-            **report,
-        )
+            self.reply(
+                message,
+                msg.VOTE_REPLY,
+                msg.CAT_VOTE,
+                txn_id=txn_id,
+                vote=vote,
+                violated=violated,
+                **report,
+            )
+        finally:
+            self.obs.finish(span, self.env.now)
 
     # -- decision phase ------------------------------------------------------------------
 
@@ -470,24 +579,44 @@ class CloudServer(Node):
         force: bool = message["force"]
         ack: bool = message["ack"]
 
-        record_type = (
-            LogRecordType.COMMIT if decision is Decision.COMMIT else LogRecordType.ABORT
+        # Un-acknowledged decisions are fire-and-forget: the coordinator's
+        # phase (and root) span may close before this handler runs, so the
+        # span is marked detached and exempted from parent containment.
+        span = self._handler_span(
+            message,
+            "server.decision",
+            decision=decision.value,
+            detached=not ack,
         )
-        if force:
-            yield self.env.timeout(self.config.log_force_time)
-            self.wal.force(record_type, txn_id, self.env.now)
-        else:
-            self.wal.append(record_type, txn_id, self.env.now)
+        try:
+            record_type = (
+                LogRecordType.COMMIT if decision is Decision.COMMIT else LogRecordType.ABORT
+            )
+            if force:
+                log_span = (
+                    self.obs.start(
+                        txn_id, "log.force", KIND_LOG, self.name, self.env.now, parent=span
+                    )
+                    if span is not None
+                    else None
+                )
+                yield self.env.timeout(self.config.log_force_time)
+                self.wal.force(record_type, txn_id, self.env.now)
+                self.obs.finish(log_span, self.env.now, record=record_type.value)
+            else:
+                self.wal.append(record_type, txn_id, self.env.now)
 
-        if decision is Decision.COMMIT:
-            self.storage.apply(txn_id, self.env.now)
-        else:
-            self.storage.discard(txn_id)
-        self._lock_manager().release_all(txn_id)
-        self._txns.pop(txn_id, None)
+            if decision is Decision.COMMIT:
+                self.storage.apply(txn_id, self.env.now)
+            else:
+                self.storage.discard(txn_id)
+            self._lock_manager().release_all(txn_id)
+            self._txns.pop(txn_id, None)
 
-        if ack:
-            self.reply(message, msg.DECISION_ACK, msg.CAT_DECISION, txn_id=txn_id)
+            if ack:
+                self.reply(message, msg.DECISION_ACK, msg.CAT_DECISION, txn_id=txn_id)
+        finally:
+            self.obs.finish(span, self.env.now)
 
     def _rollback_local(self, txn_id: str) -> None:
         """Unilateral local rollback (deadlock victim before voting)."""
@@ -503,7 +632,7 @@ class CloudServer(Node):
             self.storage.discard(txn_id)
         self._txns.clear()
         if self.env is not None:
-            self.locks = LockManager(self.env, self.name, tracer=self.tracer)
+            self.locks = LockManager(self.env, self.name, tracer=self.tracer, obs=self.obs)
 
     def on_recover(self) -> None:
         """Replay the WAL: redo logged commits, resolve in-doubt transactions."""

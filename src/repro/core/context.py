@@ -55,6 +55,13 @@ class TxnContext:
     #: Read results per query id (externalized to the user only at commit).
     values: Dict[str, Dict[str, Any]] = field(default_factory=dict)
 
+    #: Observability handles (``repro.obs`` spans): the transaction's root
+    #: span and the currently open phase span.  ``Any`` keeps the core
+    #: layer free of an obs dependency; both stay ``None`` when the trace
+    #: is unsampled or span recording is off.
+    root_span: Optional[Any] = None
+    phase_span: Optional[Any] = None
+
     started_at: float = 0.0
     ready_at: Optional[float] = None
     finished_at: Optional[float] = None

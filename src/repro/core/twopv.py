@@ -30,8 +30,15 @@ from repro.cloud.config import MasterFetchMode
 from repro.core.consistency import ConsistencyLevel
 from repro.core.context import TxnContext
 from repro.errors import AbortReason
+from repro.obs.spans import KIND_PHASE, NULL_RECORDER, PHASE_VALIDATE, SpanRecorder
 from repro.policy.policy import Policy, PolicyId
 from repro.sim.events import Event
+
+
+def coordinator_recorder(tm: Any) -> SpanRecorder:
+    """The coordinator's span recorder, tolerating bare stubs in tests."""
+    obs = getattr(tm, "obs", None)
+    return obs if obs is not None else NULL_RECORDER
 
 
 @dataclass
@@ -126,65 +133,87 @@ def run_2pv(
     timeout = tm.config.request_timeout
     reports: Dict[str, Dict[str, Any]] = {}
 
-    # Collection phase, round 1: Prepare-to-Validate to every participant.
-    events = [
-        tm.request(
-            server,
-            msg.PREPARE_TO_VALIDATE,
-            msg.CAT_VOTE,
-            timeout=timeout,
-            txn_id=ctx.txn_id,
-        )
-        for server in participants
-    ]
-    replies = yield tm.env.all_of(events)
-    for server, reply in zip(participants, replies):
-        reports[server] = ingest_report(ctx, server, reply)
-    rounds = 1
-    master_fetched = False
-
-    while True:
-        if ctx.consistency is ConsistencyLevel.GLOBAL and (
-            mode is MasterFetchMode.PER_ROUND or not master_fetched
-        ):
-            yield from tm.fetch_master_versions(ctx)
-            master_fetched = True
-
-        targets = compute_targets(ctx, reports)
-        outdated = find_outdated(ctx, reports, targets)
-
-        if not outdated:
-            truth_by_server = {server: report["truth"] for server, report in reports.items()}
-            if all(truth_by_server.values()):
-                return ValidationResult("continue", rounds, None, truth_by_server)
-            return ValidationResult(
-                "abort", rounds, AbortReason.PROOF_FAILED, truth_by_server
-            )
-
-        cap = tm.config.max_validation_rounds
-        if cap is not None and rounds >= cap:
-            return ValidationResult(
-                "abort",
-                rounds,
-                AbortReason.POLICY_INCONSISTENCY,
-                {server: report["truth"] for server, report in reports.items()},
-            )
-
-        # Validation phase: push updates to the stale participants and
-        # re-run the collection phase for them (Algorithm 1 steps 10-11).
-        stale_servers = list(outdated)
+    # The validation phase gets its own span.  Continuous runs 2PV *during*
+    # execution, so the parent may be the execute phase; the previous phase
+    # span is restored on every exit path (including request timeouts).
+    obs = coordinator_recorder(tm)
+    prev_phase = ctx.phase_span
+    phase = obs.start(
+        ctx.txn_id,
+        PHASE_VALIDATE,
+        KIND_PHASE,
+        tm.name,
+        tm.env.now,
+        parent=prev_phase if prev_phase is not None else ctx.root_span,
+    )
+    if phase is not None:
+        ctx.phase_span = phase
+    rounds = 0
+    try:
+        # Collection phase, round 1: Prepare-to-Validate to every participant.
         events = [
             tm.request(
                 server,
-                msg.POLICY_UPDATE,
-                msg.CAT_UPDATE,
+                msg.PREPARE_TO_VALIDATE,
+                msg.CAT_VOTE,
                 timeout=timeout,
+                span=ctx.phase_span or ctx.root_span,
                 txn_id=ctx.txn_id,
-                policies=outdated[server],
             )
-            for server in stale_servers
+            for server in participants
         ]
         replies = yield tm.env.all_of(events)
-        for server, reply in zip(stale_servers, replies):
+        for server, reply in zip(participants, replies):
             reports[server] = ingest_report(ctx, server, reply)
-        rounds += 1
+        rounds = 1
+        master_fetched = False
+
+        while True:
+            if ctx.consistency is ConsistencyLevel.GLOBAL and (
+                mode is MasterFetchMode.PER_ROUND or not master_fetched
+            ):
+                yield from tm.fetch_master_versions(ctx)
+                master_fetched = True
+
+            targets = compute_targets(ctx, reports)
+            outdated = find_outdated(ctx, reports, targets)
+
+            if not outdated:
+                truth_by_server = {server: report["truth"] for server, report in reports.items()}
+                if all(truth_by_server.values()):
+                    return ValidationResult("continue", rounds, None, truth_by_server)
+                return ValidationResult(
+                    "abort", rounds, AbortReason.PROOF_FAILED, truth_by_server
+                )
+
+            cap = tm.config.max_validation_rounds
+            if cap is not None and rounds >= cap:
+                return ValidationResult(
+                    "abort",
+                    rounds,
+                    AbortReason.POLICY_INCONSISTENCY,
+                    {server: report["truth"] for server, report in reports.items()},
+                )
+
+            # Validation phase: push updates to the stale participants and
+            # re-run the collection phase for them (Algorithm 1 steps 10-11).
+            stale_servers = list(outdated)
+            events = [
+                tm.request(
+                    server,
+                    msg.POLICY_UPDATE,
+                    msg.CAT_UPDATE,
+                    timeout=timeout,
+                    span=ctx.phase_span or ctx.root_span,
+                    txn_id=ctx.txn_id,
+                    policies=outdated[server],
+                )
+                for server in stale_servers
+            ]
+            replies = yield tm.env.all_of(events)
+            for server, reply in zip(stale_servers, replies):
+                reports[server] = ingest_report(ctx, server, reply)
+            rounds += 1
+    finally:
+        obs.finish(phase, tm.env.now, rounds=rounds)
+        ctx.phase_span = prev_phase

@@ -24,9 +24,15 @@ from repro.cloud import messages as msg
 from repro.cloud.config import MasterFetchMode
 from repro.core.consistency import ConsistencyLevel
 from repro.core.context import TxnContext
-from repro.core.twopv import compute_targets, find_outdated, ingest_report
+from repro.core.twopv import (
+    compute_targets,
+    coordinator_recorder,
+    find_outdated,
+    ingest_report,
+)
 from repro.db.wal import LogRecordType
 from repro.errors import AbortReason
+from repro.obs.spans import KIND_LOG, KIND_PHASE, PHASE_COMMIT
 from repro.sim.events import Event
 from repro.transactions.states import Decision, Vote
 
@@ -60,10 +66,16 @@ def broadcast_decision(
     then appends a non-forced end record.
     """
     variant = tm.config.commit_variant
+    obs = coordinator_recorder(tm)
+    parent = ctx.phase_span or ctx.root_span
     record_type = LogRecordType.COMMIT if decision is Decision.COMMIT else LogRecordType.ABORT
     if variant.coordinator_forces(decision):
+        log_span = obs.start(
+            ctx.txn_id, "log.force", KIND_LOG, tm.name, tm.env.now, parent=parent
+        )
         yield tm.env.timeout(tm.config.log_force_time)
         tm.wal.force(record_type, ctx.txn_id, tm.env.now)
+        obs.finish(log_span, tm.env.now, record=record_type.value)
     else:
         tm.wal.append(record_type, ctx.txn_id, tm.env.now)
 
@@ -78,6 +90,7 @@ def broadcast_decision(
                     msg.DECISION,
                     msg.CAT_DECISION,
                     timeout=tm.config.request_timeout,
+                    span=parent,
                     txn_id=ctx.txn_id,
                     decision=decision,
                     force=participant_forces,
@@ -89,6 +102,7 @@ def broadcast_decision(
                 server,
                 msg.DECISION,
                 msg.CAT_DECISION,
+                span=parent,
                 txn_id=ctx.txn_id,
                 decision=decision,
                 force=participant_forces,
@@ -130,98 +144,130 @@ def run_2pvc(
     timeout = tm.config.request_timeout
     variant = tm.config.commit_variant
 
-    if variant.coordinator_initial_force:  # PrC's collecting record
-        yield tm.env.timeout(tm.config.log_force_time)
-        tm.wal.force(LogRecordType.BEGIN, ctx.txn_id, tm.env.now, collecting=True)
+    # The commit phase span covers voting, validation repair, and the
+    # decision broadcast.  As in 2PV, the previous phase span is restored
+    # on every exit path so timeouts do not leak a stale parent.
+    obs = coordinator_recorder(tm)
+    prev_phase = ctx.phase_span
+    phase = obs.start(
+        ctx.txn_id,
+        PHASE_COMMIT,
+        KIND_PHASE,
+        tm.name,
+        tm.env.now,
+        parent=prev_phase if prev_phase is not None else ctx.root_span,
+        validate=validate,
+    )
+    if phase is not None:
+        ctx.phase_span = phase
+    rounds = 0
+    try:
+        if variant.coordinator_initial_force:  # PrC's collecting record
+            log_span = obs.start(
+                ctx.txn_id,
+                "log.force",
+                KIND_LOG,
+                tm.name,
+                tm.env.now,
+                parent=ctx.phase_span or ctx.root_span,
+            )
+            yield tm.env.timeout(tm.config.log_force_time)
+            tm.wal.force(LogRecordType.BEGIN, ctx.txn_id, tm.env.now, collecting=True)
+            obs.finish(log_span, tm.env.now, record="begin")
 
-    # -- voting phase (round 1): Prepare-to-Commit -----------------------------
-    events = [
-        tm.request(
-            server,
-            msg.PREPARE_TO_COMMIT,
-            msg.CAT_VOTE,
-            timeout=timeout,
-            txn_id=ctx.txn_id,
-            validate=validate,
-        )
-        for server in participants
-    ]
-    replies = yield tm.env.all_of(events)
-    votes: Dict[str, Vote] = {}
-    reports: Dict[str, Dict[str, Any]] = {}
-    for server, reply in zip(participants, replies):
-        votes[server] = reply["vote"]
-        reports[server] = ingest_report(ctx, server, reply)
-    rounds = 1
-
-    # Algorithm 2 step 3: any NO on integrity aborts immediately.
-    if any(vote is Vote.NO for vote in votes.values()):
-        result = CommitResult(
-            Decision.ABORT,
-            rounds,
-            AbortReason.INTEGRITY_VIOLATION,
-            votes,
-            {server: report["truth"] for server, report in reports.items()},
-        )
-        yield from broadcast_decision(tm, ctx, Decision.ABORT, participants)
-        return result
-
-    if not validate:
-        result = CommitResult(Decision.COMMIT, rounds, None, votes)
-        yield from broadcast_decision(tm, ctx, Decision.COMMIT, participants)
-        return result
-
-    # -- validation loop (Algorithm 2 steps 5-14) --------------------------------
-    master_fetched = False
-    decision: Decision
-    abort_reason: Optional[AbortReason] = None
-    while True:
-        if ctx.consistency is ConsistencyLevel.GLOBAL and (
-            mode is MasterFetchMode.PER_ROUND or not master_fetched
-        ):
-            yield from tm.fetch_master_versions(ctx)
-            master_fetched = True
-
-        targets = compute_targets(ctx, reports)
-        outdated = find_outdated(ctx, reports, targets)
-
-        if not outdated:
-            if all(report["truth"] for report in reports.values()):
-                decision = Decision.COMMIT
-            else:
-                decision = Decision.ABORT
-                abort_reason = AbortReason.PROOF_FAILED
-            break
-
-        cap = tm.config.max_validation_rounds
-        if cap is not None and rounds >= cap:
-            decision = Decision.ABORT
-            abort_reason = AbortReason.POLICY_INCONSISTENCY
-            break
-
-        stale_servers = list(outdated)
+        # -- voting phase (round 1): Prepare-to-Commit -----------------------------
         events = [
             tm.request(
                 server,
-                msg.POLICY_UPDATE,
-                msg.CAT_UPDATE,
+                msg.PREPARE_TO_COMMIT,
+                msg.CAT_VOTE,
                 timeout=timeout,
+                span=ctx.phase_span or ctx.root_span,
                 txn_id=ctx.txn_id,
-                policies=outdated[server],
+                validate=validate,
             )
-            for server in stale_servers
+            for server in participants
         ]
         replies = yield tm.env.all_of(events)
-        for server, reply in zip(stale_servers, replies):
+        votes: Dict[str, Vote] = {}
+        reports: Dict[str, Dict[str, Any]] = {}
+        for server, reply in zip(participants, replies):
+            votes[server] = reply["vote"]
             reports[server] = ingest_report(ctx, server, reply)
-        rounds += 1
+        rounds = 1
 
-    result = CommitResult(
-        decision,
-        rounds,
-        abort_reason,
-        votes,
-        {server: report["truth"] for server, report in reports.items()},
-    )
-    yield from broadcast_decision(tm, ctx, decision, participants)
-    return result
+        # Algorithm 2 step 3: any NO on integrity aborts immediately.
+        if any(vote is Vote.NO for vote in votes.values()):
+            result = CommitResult(
+                Decision.ABORT,
+                rounds,
+                AbortReason.INTEGRITY_VIOLATION,
+                votes,
+                {server: report["truth"] for server, report in reports.items()},
+            )
+            yield from broadcast_decision(tm, ctx, Decision.ABORT, participants)
+            return result
+
+        if not validate:
+            result = CommitResult(Decision.COMMIT, rounds, None, votes)
+            yield from broadcast_decision(tm, ctx, Decision.COMMIT, participants)
+            return result
+
+        # -- validation loop (Algorithm 2 steps 5-14) --------------------------------
+        master_fetched = False
+        decision: Decision
+        abort_reason: Optional[AbortReason] = None
+        while True:
+            if ctx.consistency is ConsistencyLevel.GLOBAL and (
+                mode is MasterFetchMode.PER_ROUND or not master_fetched
+            ):
+                yield from tm.fetch_master_versions(ctx)
+                master_fetched = True
+
+            targets = compute_targets(ctx, reports)
+            outdated = find_outdated(ctx, reports, targets)
+
+            if not outdated:
+                if all(report["truth"] for report in reports.values()):
+                    decision = Decision.COMMIT
+                else:
+                    decision = Decision.ABORT
+                    abort_reason = AbortReason.PROOF_FAILED
+                break
+
+            cap = tm.config.max_validation_rounds
+            if cap is not None and rounds >= cap:
+                decision = Decision.ABORT
+                abort_reason = AbortReason.POLICY_INCONSISTENCY
+                break
+
+            stale_servers = list(outdated)
+            events = [
+                tm.request(
+                    server,
+                    msg.POLICY_UPDATE,
+                    msg.CAT_UPDATE,
+                    timeout=timeout,
+                    span=ctx.phase_span or ctx.root_span,
+                    txn_id=ctx.txn_id,
+                    policies=outdated[server],
+                )
+                for server in stale_servers
+            ]
+            replies = yield tm.env.all_of(events)
+            for server, reply in zip(stale_servers, replies):
+                reports[server] = ingest_report(ctx, server, reply)
+            rounds += 1
+
+        result = CommitResult(
+            decision,
+            rounds,
+            abort_reason,
+            votes,
+            {server: report["truth"] for server, report in reports.items()},
+        )
+        yield from broadcast_decision(tm, ctx, decision, participants)
+        return result
+    finally:
+        obs.finish(phase, tm.env.now, rounds=rounds)
+        ctx.phase_span = prev_phase

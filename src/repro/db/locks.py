@@ -18,6 +18,13 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.errors import DeadlockError, SimulationError
+from repro.obs.spans import (
+    KIND_LOCK,
+    NULL_RECORDER,
+    ParentRef,
+    Span,
+    SpanRecorder,
+)
 from repro.sim.events import Event
 from repro.sim.kernel import Environment
 from repro.sim.tracing import Tracer
@@ -45,6 +52,9 @@ class _WaitEntry:
     txn_id: str
     mode: LockMode
     event: Event
+    #: Open ``lock.wait`` span, finished when the wait resolves (grant,
+    #: deadlock victim, or cancellation by a global abort).
+    span: Optional[Span] = None
 
 
 @dataclass
@@ -58,11 +68,16 @@ class LockManager:
     """Per-server lock table."""
 
     def __init__(
-        self, env: Environment, server: str = "?", tracer: Optional[Tracer] = None
+        self,
+        env: Environment,
+        server: str = "?",
+        tracer: Optional[Tracer] = None,
+        obs: Optional[SpanRecorder] = None,
     ) -> None:
         self.env = env
         self.server = server
         self.tracer = tracer
+        self.obs = obs if obs is not None else NULL_RECORDER
         self._locks: Dict[str, _LockState] = {}
         #: Keys held per transaction, for O(1) release.
         self._held_by_txn: Dict[str, Set[str]] = {}
@@ -97,13 +112,16 @@ class LockManager:
 
     # -- acquisition ------------------------------------------------------------
 
-    def acquire(self, txn_id: str, key: str, mode: LockMode) -> Event:
+    def acquire(
+        self, txn_id: str, key: str, mode: LockMode, span: ParentRef = None
+    ) -> Event:
         """Request a lock.  The returned event succeeds when granted.
 
         Reentrant requests (already holding a sufficient lock) succeed
         immediately.  A shared→exclusive upgrade is granted immediately when
         the transaction is the sole holder, otherwise it waits in the queue
-        like any other request.
+        like any other request.  ``span`` parents the ``lock.wait`` span
+        recorded when (and only when) the request actually queues.
         """
         event = self.env.event()
         state = self._locks.setdefault(key, _LockState())
@@ -118,7 +136,7 @@ class LockManager:
                 event.succeed((key, mode))
                 return event
             # Upgrade must wait for the other sharers to drain.
-            self._enqueue(state, txn_id, key, mode, event)
+            self._enqueue(state, txn_id, key, mode, event, span)
             return event
 
         if not state.holders and not state.queue:
@@ -134,7 +152,7 @@ class LockManager:
             event.succeed((key, mode))
             return event
 
-        self._enqueue(state, txn_id, key, mode, event)
+        self._enqueue(state, txn_id, key, mode, event, span)
         return event
 
     def _grant(self, state: _LockState, txn_id: str, key: str, mode: LockMode) -> None:
@@ -144,7 +162,13 @@ class LockManager:
         self._trace(LOCK_GRANT, txn_id, key, mode)
 
     def _enqueue(
-        self, state: _LockState, txn_id: str, key: str, mode: LockMode, event: Event
+        self,
+        state: _LockState,
+        txn_id: str,
+        key: str,
+        mode: LockMode,
+        event: Event,
+        parent: ParentRef = None,
     ) -> None:
         entry = _WaitEntry(txn_id, mode, event)
         state.queue.append(entry)
@@ -152,6 +176,17 @@ class LockManager:
         if cycle is not None:
             state.queue.remove(entry)
             event.fail(DeadlockError(victim=txn_id, cycle=tuple(cycle)))
+            return
+        entry.span = self.obs.start(
+            txn_id,
+            "lock.wait",
+            KIND_LOCK,
+            self.server,
+            self.env.now,
+            parent=parent,
+            key=key,
+            mode=mode.value,
+        )
 
     # -- release --------------------------------------------------------------
 
@@ -170,6 +205,7 @@ class LockManager:
                     entry.event.fail(
                         DeadlockError(victim=txn_id, cycle=("cancelled", key))
                     )
+                    self.obs.finish(entry.span, self.env.now, status="cancelled")
             state.queue[:] = [
                 entry
                 for entry in state.queue
@@ -199,12 +235,14 @@ class LockManager:
                     state.mode = LockMode.EXCLUSIVE
                     state.queue.pop(0)
                     self._trace(LOCK_GRANT, entry.txn_id, key, LockMode.EXCLUSIVE)
+                    self.obs.finish(entry.span, self.env.now, status="granted")
                     entry.event.succeed((key, entry.mode))
                     continue
                 break
             if not state.holders or compatible(state.mode, entry.mode):  # type: ignore[arg-type]
                 self._grant(state, entry.txn_id, key, entry.mode)
                 state.queue.pop(0)
+                self.obs.finish(entry.span, self.env.now, status="granted")
                 entry.event.succeed((key, entry.mode))
                 continue
             break

@@ -14,7 +14,8 @@ transaction protocol costs against the Table I formulas.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, Optional, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.cloud.messages import PROTOCOL_CATEGORIES
 from repro.policy.rules import EngineCounters
@@ -171,3 +172,84 @@ class Metrics:
     # convenience used as the network hook directly
     def on_message(self, message: Message) -> None:
         self.messages.on_message(message)
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """One labeled counter value — the canonical enumeration unit.
+
+    ``family`` is the logical metric name (``messages``, ``engine_work``,
+    …); ``labels`` is a sorted tuple of ``(name, value)`` pairs.  Both
+    :func:`repro.metrics.report.format_counters_report` and the OpenMetrics
+    exposition (:mod:`repro.obs.openmetrics`) render from this one
+    enumeration, so the two outputs can never disagree on counter names or
+    values.
+    """
+
+    family: str
+    labels: Tuple[Tuple[str, str], ...]
+    value: float
+
+    def label(self, name: str) -> str:
+        for key, value in self.labels:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+
+def counter_samples(metrics: "Metrics") -> List[CounterSample]:
+    """Flatten a :class:`Metrics` bundle into labeled counter samples.
+
+    Deterministic order: families in a fixed sequence, label values sorted.
+    Derived values (hit rates, totals of labeled families) are *not*
+    emitted — consumers compute them from the samples, keeping every
+    counter name unique across the enumeration.
+    """
+    samples: List[CounterSample] = []
+    for category in sorted(metrics.messages.by_category):
+        samples.append(
+            CounterSample(
+                "messages",
+                (("category", category),),
+                float(metrics.messages.by_category[category]),
+            )
+        )
+    for server in sorted(metrics.proofs.by_server):
+        samples.append(
+            CounterSample(
+                "proof_evaluations",
+                (("server", server),),
+                float(metrics.proofs.by_server[server]),
+            )
+        )
+    cache = metrics.proof_cache
+    for event, value in (
+        ("hit", cache.hits),
+        ("miss", cache.misses),
+        ("bypass", cache.bypasses),
+        ("invalidation", cache.invalidations),
+    ):
+        samples.append(CounterSample("proof_cache_events", (("event", event),), float(value)))
+    for name, value in sorted(metrics.engine.snapshot().items()):
+        samples.append(CounterSample("engine_work", (("counter", name),), float(value)))
+    verification = metrics.verification
+    samples.append(CounterSample("verification_runs", (), float(verification.runs)))
+    samples.append(
+        CounterSample("verification_events_checked", (), float(verification.events_checked))
+    )
+    samples.append(
+        CounterSample(
+            "verification_transactions_checked",
+            (),
+            float(verification.transactions_checked),
+        )
+    )
+    for code in sorted(verification.violations_by_code):
+        samples.append(
+            CounterSample(
+                "verification_violations",
+                (("code", code),),
+                float(verification.violations_by_code[code]),
+            )
+        )
+    return samples

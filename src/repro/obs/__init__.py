@@ -1,0 +1,94 @@
+"""Causal span tracing and latency attribution for the simulator.
+
+``repro.obs`` records the *causal structure* of every simulated
+transaction as a tree of spans — the txn root, its protocol phases
+(execute / 2PV validate / 2PVC commit), and the RPC, server-handler,
+lock-wait, proof-evaluation, CPU, and log-force work nested beneath them.
+Span context rides across :class:`repro.sim.network.Network` messages, so
+trees connect coordinator and participants exactly as the protocol did.
+
+On top of the raw spans sit:
+
+* :mod:`repro.obs.critical` — critical-path extraction and exclusive-time
+  latency attribution (network vs lock vs proof vs compute …), exact to
+  the root span's duration;
+* :mod:`repro.obs.render` — ASCII waterfalls and flamegraphs;
+* :mod:`repro.obs.export` — JSONL span round-trips;
+* :mod:`repro.obs.openmetrics` — OpenMetrics text exposition of counters
+  and span histograms;
+* :mod:`repro.obs.crosscheck` — agreement checks between span trees and
+  the flat :class:`~repro.sim.tracing.Tracer` evidence.
+
+``python -m repro.obs`` drives all of it from the command line; see
+docs/observability.md for the model and the overhead budget.
+"""
+
+from typing import Any
+
+from repro.obs.critical import (
+    CATEGORIES,
+    Attribution,
+    GridCell,
+    aggregate_grid,
+    attribute_latency,
+    phase_columns,
+)
+from repro.obs.export import spans_from_jsonl, spans_to_jsonl
+from repro.obs.render import folded_stacks, render_flame, render_waterfall
+from repro.obs.spans import (
+    ALL_KINDS,
+    NULL_RECORDER,
+    Span,
+    SpanRecorder,
+    SpanTree,
+    annotate,
+    check_all_trees,
+    context_of,
+)
+
+#: Lazily imported attributes (PEP 562).  ``crosscheck`` and
+#: ``openmetrics`` sit above :mod:`repro.metrics`, which transitively
+#: imports :mod:`repro.sim.network` — and *that* module imports
+#: ``repro.obs.spans``.  Importing them eagerly here would close an import
+#: cycle through this package ``__init__``.
+_LAZY = {
+    "crosscheck_spans": ("repro.obs.crosscheck", "crosscheck_spans"),
+    "render_openmetrics": ("repro.obs.openmetrics", "render_openmetrics"),
+    "validate_openmetrics": ("repro.obs.openmetrics", "validate_openmetrics"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+__all__ = [
+    "ALL_KINDS",
+    "Attribution",
+    "CATEGORIES",
+    "GridCell",
+    "NULL_RECORDER",
+    "Span",
+    "SpanRecorder",
+    "SpanTree",
+    "aggregate_grid",
+    "annotate",
+    "attribute_latency",
+    "check_all_trees",
+    "context_of",
+    "crosscheck_spans",
+    "folded_stacks",
+    "phase_columns",
+    "render_flame",
+    "render_openmetrics",
+    "render_waterfall",
+    "spans_from_jsonl",
+    "spans_to_jsonl",
+    "validate_openmetrics",
+]

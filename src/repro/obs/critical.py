@@ -1,0 +1,206 @@
+"""Critical-path latency attribution over span trees.
+
+Answers "where did this transaction's latency go?" by partitioning the root
+span's window into *exclusive* span time: at every instant, the time is
+charged to the **deepest** span active at that instant (ties broken by
+latest start, then highest span id — i.e. the most recently opened work).
+A phase span is therefore charged only for coordinator think time not
+covered by an RPC; an RPC only for wire time not covered by server-side
+work; a server handler only for what its lock/cpu/proof children don't
+explain.
+
+Because the partition assigns every elementary interval of the root window
+to exactly one span, the exclusive times *telescope*: they sum to the root
+duration — end-to-end latency — exactly (modulo float addition noise), which
+is the reconciliation invariant the test suite enforces at 1e-6.
+
+Spans still open at attribution time (there are none in a completed run)
+and children that outlive a timed-out RPC are clipped to the root window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.spans import (
+    KIND_CPU,
+    KIND_LOCK,
+    KIND_LOG,
+    KIND_PHASE,
+    KIND_PROOF,
+    KIND_RPC,
+    KIND_SERVER,
+    KIND_TXN,
+    PHASE_COMMIT,
+    PHASE_EXECUTE,
+    PHASE_VALIDATE,
+    Span,
+    SpanRecorder,
+    SpanTree,
+)
+
+#: Span kind → attribution category (the rows of the critical-path table).
+CATEGORY_BY_KIND = {
+    KIND_TXN: "coordinator",
+    KIND_PHASE: "coordinator",
+    KIND_RPC: "network",
+    KIND_SERVER: "server",
+    KIND_CPU: "compute",
+    KIND_LOCK: "lock",
+    KIND_PROOF: "proof",
+    KIND_LOG: "log",
+}
+
+#: Stable row order for reports.
+CATEGORIES = ("coordinator", "network", "server", "compute", "lock", "proof", "log")
+
+
+@dataclass
+class Attribution:
+    """Exclusive-time breakdown of one transaction."""
+
+    trace_id: str
+    total: float
+    by_category: Dict[str, float]
+    by_span: Dict[int, float]
+
+    @property
+    def exclusive_sum(self) -> float:
+        return sum(self.by_span.values())
+
+
+def attribute_latency(tree: SpanTree) -> Attribution:
+    """Partition the root window into per-span exclusive time.
+
+    Sweeps the sorted set of span boundaries; each elementary interval is
+    charged to the deepest active span covering it.  O(B·S) per trace with
+    B boundaries and S spans — trees are tens of spans, so this is cheap
+    and keeps the tie-breaking rule obvious.
+    """
+    root = tree.root
+    if root is None:
+        raise ValueError(f"trace {tree.trace_id!r} has no root span")
+    lo0 = root.start
+    hi0 = root.end if root.end is not None else max(
+        [span.end for span in tree.spans if span.end is not None] + [root.start]
+    )
+
+    clipped: List[Tuple[float, float, int, Span]] = []
+    for span in tree.spans:
+        if not tree.is_connected(span):
+            continue  # disconnected spans don't partition the root window
+        start = max(span.start, lo0)
+        end = min(span.end if span.end is not None else hi0, hi0)
+        if end > start or span is root:
+            clipped.append((start, end, tree.depth(span), span))
+
+    boundaries = sorted({lo0, hi0, *(b for s, e, _, _ in clipped for b in (s, e))})
+    by_span: Dict[int, float] = {}
+    by_category: Dict[str, float] = dict.fromkeys(CATEGORIES, 0.0)
+    for lo, hi in zip(boundaries, boundaries[1:]):
+        if hi <= lo:
+            continue
+        winner: Optional[Tuple[int, float, int, Span]] = None
+        for start, end, depth, span in clipped:
+            if start <= lo and end >= hi:
+                key = (depth, start, span.span_id, span)
+                if winner is None or key[:3] > winner[:3]:
+                    winner = key
+        if winner is None:
+            continue  # unreachable: the root always covers the window
+        span = winner[3]
+        by_span[span.span_id] = by_span.get(span.span_id, 0.0) + (hi - lo)
+        category = CATEGORY_BY_KIND.get(span.kind, "coordinator")
+        by_category[category] = by_category.get(category, 0.0) + (hi - lo)
+
+    return Attribution(
+        trace_id=tree.trace_id,
+        total=hi0 - lo0,
+        by_category=by_category,
+        by_span=by_span,
+    )
+
+
+@dataclass
+class GridCell:
+    """Mean critical-path breakdown of one (approach, consistency) cell."""
+
+    approach: str
+    consistency: str
+    count: int
+    mean_latency: float
+    mean_by_category: Dict[str, float]
+
+
+def aggregate_grid(recorder: SpanRecorder) -> List[GridCell]:
+    """Per (approach, consistency) mean attribution across sampled traces.
+
+    Grouping keys come from the root span's ``approach``/``consistency``
+    attributes (stamped by the transaction manager); traces without a root
+    are skipped.  Cells are ordered by first appearance — deterministic,
+    since trace order is submission order.
+    """
+    groups: Dict[Tuple[str, str], List[Attribution]] = {}
+    for trace_id in recorder.traces():
+        tree = recorder.tree(trace_id)
+        if tree.root is None:
+            continue
+        key = (
+            str(tree.root.attrs.get("approach", "?")),
+            str(tree.root.attrs.get("consistency", "?")),
+        )
+        groups.setdefault(key, []).append(attribute_latency(tree))
+    cells: List[GridCell] = []
+    for (approach, consistency), attributions in groups.items():
+        n = len(attributions)
+        mean_by_category = {
+            category: sum(a.by_category.get(category, 0.0) for a in attributions) / n
+            for category in CATEGORIES
+        }
+        cells.append(
+            GridCell(
+                approach=approach,
+                consistency=consistency,
+                count=n,
+                mean_latency=sum(a.total for a in attributions) / n,
+                mean_by_category=mean_by_category,
+            )
+        )
+    return cells
+
+
+#: Column names added to :data:`repro.metrics.export.FIELDS` by this PR.
+PHASE_COLUMN_NAMES = ("execution_time", "validation_time", "commit_time", "lock_wait_time")
+
+
+def phase_columns(recorder: SpanRecorder) -> Dict[str, Dict[str, float]]:
+    """Per-transaction phase latencies for the outcome export.
+
+    ``execution_time`` is the execute phase *minus* any validation nested
+    inside it (Continuous runs 2PV after every query, so its validation
+    time lives inside the execute window); ``validation_time``/
+    ``commit_time`` sum the respective phase spans wherever they ran;
+    ``lock_wait_time`` sums the transaction's queued lock waits across all
+    participants.  Only sampled transactions appear in the mapping.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for trace_id in recorder.traces():
+        spans = recorder.spans(trace_id)
+        execute = [s for s in spans if s.name == PHASE_EXECUTE]
+        validate = [s for s in spans if s.name == PHASE_VALIDATE]
+        execution = sum(s.duration for s in execute)
+        nested = 0.0
+        for phase in execute:
+            if phase.end is None:
+                continue
+            for inner in validate:
+                if inner.start >= phase.start and (inner.end or inner.start) <= phase.end:
+                    nested += inner.duration
+        out[trace_id] = {
+            "execution_time": execution - nested,
+            "validation_time": sum(s.duration for s in validate),
+            "commit_time": sum(s.duration for s in spans if s.name == PHASE_COMMIT),
+            "lock_wait_time": sum(s.duration for s in spans if s.kind == KIND_LOCK),
+        }
+    return out

@@ -1,0 +1,43 @@
+"""JSONL span export — one JSON object per line, lossless round trip.
+
+The format is deliberately trivial (``Span.to_dict`` per line) so external
+trace viewers, ``jq`` pipelines, and pandas can consume it directly.
+``spans_from_jsonl(spans_to_jsonl(spans))`` reproduces the original spans
+exactly (dataclass equality), provided span attributes hold JSON-primitive
+values — which the instrumentation call sites guarantee.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Optional, TextIO
+
+from repro.obs.spans import Span
+
+
+def spans_to_jsonl(spans: Iterable[Span], stream: Optional[TextIO] = None) -> str:
+    """Serialize spans as JSON Lines; returns (and optionally writes) the text."""
+    lines = [json.dumps(span.to_dict(), sort_keys=False) for span in spans]
+    text = "\n".join(lines) + ("\n" if lines else "")
+    if stream is not None:
+        stream.write(text)
+    return text
+
+
+def spans_from_jsonl(text: str) -> List[Span]:
+    """Parse JSONL back into :class:`Span` objects (round-trip inverse)."""
+    spans: List[Span] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"line {lineno}: invalid JSON ({error})") from None
+        if not isinstance(data, dict):
+            raise ValueError(f"line {lineno}: expected a JSON object")
+        try:
+            spans.append(Span.from_dict(data))
+        except KeyError as error:
+            raise ValueError(f"line {lineno}: missing span field {error}") from None
+    return spans

@@ -1,0 +1,281 @@
+"""OpenMetrics (Prometheus text exposition) rendering and strict parsing.
+
+Renders every counter of a run — from the canonical enumeration in
+:func:`repro.metrics.counters.counter_samples`, the same code path the
+plain-text report uses — plus span-derived histograms: per-kind span
+durations and per-(approach, consistency) transaction latencies, on fixed
+log-scale buckets (powers of two), so bucket boundaries are deterministic
+and comparable across runs.
+
+:func:`validate_openmetrics` is a deliberately strict parser used by the
+test suite (and available to callers) to keep the output format honest:
+``# EOF`` terminator, declared families only, ``_total`` suffix on
+counters, grouped samples, monotone cumulative histogram buckets with a
+``+Inf`` bucket equal to ``_count``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Sequence, TextIO, Tuple
+
+from repro.metrics.counters import Metrics, counter_samples
+from repro.obs.spans import ALL_KINDS, KIND_TXN, Span, SpanRecorder
+
+#: Fixed log-scale duration buckets (simulated time units): 2^-4 .. 2^10.
+DURATION_BUCKETS: Tuple[float, ...] = tuple(2.0**k for k in range(-4, 11))
+
+#: ``# HELP`` text per counter family (keys match ``counter_samples``).
+FAMILY_HELP = {
+    "messages": "Messages sent, by accounting category.",
+    "proof_evaluations": "Proof-of-authorization evaluations, by server.",
+    "proof_cache_events": "Proof-cache events (hit/miss/bypass/invalidation).",
+    "engine_work": "Inference-engine work counters (facts scanned, rules tried, ...).",
+    "verification_runs": "Trace-sanitizer runs over recorded traces.",
+    "verification_events_checked": "Events examined by the trace sanitizer.",
+    "verification_transactions_checked": "Transactions examined by the trace sanitizer.",
+    "verification_violations": "Conformance violations found, by code.",
+}
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels(pairs: Sequence[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    body = ",".join(f'{name}="{_escape(value)}"' for name, value in pairs)
+    return "{" + body + "}"
+
+
+def _value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def _bucket_label(bound: float) -> str:
+    return _value(bound) if bound != float("inf") else "+Inf"
+
+
+def _histogram_lines(
+    name: str,
+    help_text: str,
+    series: Sequence[Tuple[Tuple[Tuple[str, str], ...], Sequence[float]]],
+) -> List[str]:
+    """One histogram family: cumulative buckets + sum + count per label set."""
+    lines = [f"# TYPE {name} histogram", f"# HELP {name} {help_text}"]
+    for labels, values in series:
+        for bound in (*DURATION_BUCKETS, float("inf")):
+            cumulative = sum(1 for value in values if value <= bound)
+            bucket_labels = (*labels, ("le", _bucket_label(bound)))
+            lines.append(f"{name}_bucket{_labels(bucket_labels)} {cumulative}")
+        lines.append(f"{name}_sum{_labels(labels)} {_value(sum(values))}")
+        lines.append(f"{name}_count{_labels(labels)} {len(values)}")
+    return lines
+
+
+def _span_series(spans: Sequence[Span]) -> List[Tuple[Tuple[Tuple[str, str], ...], List[float]]]:
+    by_kind: Dict[str, List[float]] = {}
+    for span in spans:
+        if span.end is not None:
+            by_kind.setdefault(span.kind, []).append(span.duration)
+    return [
+        ((("kind", kind),), by_kind[kind]) for kind in ALL_KINDS if kind in by_kind
+    ]
+
+
+def _txn_series(spans: Sequence[Span]) -> List[Tuple[Tuple[Tuple[str, str], ...], List[float]]]:
+    groups: Dict[Tuple[str, str], List[float]] = {}
+    for span in spans:
+        if span.kind == KIND_TXN and span.end is not None:
+            key = (
+                str(span.attrs.get("approach", "?")),
+                str(span.attrs.get("consistency", "?")),
+            )
+            groups.setdefault(key, []).append(span.duration)
+    return [
+        ((("approach", approach), ("consistency", consistency)), groups[key])
+        for key in sorted(groups)
+        for approach, consistency in [key]
+    ]
+
+
+def render_openmetrics(
+    metrics: Metrics,
+    recorder: Optional[SpanRecorder] = None,
+    stream: Optional[TextIO] = None,
+) -> str:
+    """The full OpenMetrics exposition for one run; optionally written out."""
+    lines: List[str] = []
+    samples = counter_samples(metrics)
+    seen: List[str] = []
+    for sample in samples:
+        if sample.family not in seen:
+            seen.append(sample.family)
+    for family in seen:
+        name = f"repro_{family}"
+        lines.append(f"# TYPE {name} counter")
+        lines.append(f"# HELP {name} {FAMILY_HELP.get(family, family)}")
+        for sample in samples:
+            if sample.family == family:
+                lines.append(f"{name}_total{_labels(sample.labels)} {_value(sample.value)}")
+
+    # Derived gauge: cache hit ratio (computed from the samples above, so
+    # no counter name is duplicated).
+    cache = {s.label("event"): s.value for s in samples if s.family == "proof_cache_events"}
+    lookups = cache.get("hit", 0.0) + cache.get("miss", 0.0)
+    ratio = cache.get("hit", 0.0) / lookups if lookups else 0.0
+    lines.append("# TYPE repro_proof_cache_hit_ratio gauge")
+    lines.append("# HELP repro_proof_cache_hit_ratio Fraction of cacheable evaluations served from the cache.")
+    lines.append(f"repro_proof_cache_hit_ratio {_value(ratio)}")
+
+    if recorder is not None:
+        spans = recorder.spans()
+        lines.extend(
+            _histogram_lines(
+                "repro_span_duration",
+                "Span durations in simulated time units, by span kind.",
+                _span_series(spans),
+            )
+        )
+        lines.extend(
+            _histogram_lines(
+                "repro_txn_latency",
+                "End-to-end transaction latency (root spans), by approach and consistency.",
+                _txn_series(spans),
+            )
+        )
+
+    lines.append("# EOF")
+    text = "\n".join(lines) + "\n"
+    if stream is not None:
+        stream.write(text)
+    return text
+
+
+# -- strict validation --------------------------------------------------------
+
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(-?(?:\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)|[+-]Inf|NaN)$"
+)
+_LABEL_PAIR = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\["\\n])*"'
+_LABEL_BODY_RE = re.compile(rf"^{_LABEL_PAIR}(?:,{_LABEL_PAIR})*$")
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\\n]|\\["\\n])*)"')
+
+_SUFFIXES = {
+    "counter": ("_total",),
+    "gauge": ("",),
+    "histogram": ("_bucket", "_sum", "_count"),
+}
+
+
+def _parse_float(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def validate_openmetrics(text: str) -> Dict[str, Dict[str, Any]]:
+    """Strictly parse an OpenMetrics exposition; raises ``ValueError``.
+
+    Enforces the subset of the OpenMetrics spec this repo relies on:
+    terminating ``# EOF``; unique ``# TYPE`` declarations; every sample
+    named ``<family><allowed suffix>`` of the *most recently declared*
+    family (samples grouped per family); well-formed label syntax; and per
+    label set of every histogram: ascending ``le`` bounds, nondecreasing
+    cumulative counts, a ``+Inf`` bucket, and ``+Inf`` count == ``_count``.
+    Returns ``{family: {"type": ..., "samples": [(name, labels, value)]}}``.
+    """
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    if not lines or lines[-1] != "# EOF":
+        raise ValueError("exposition must end with '# EOF'")
+    families: Dict[str, Dict[str, Any]] = {}
+    current: Optional[str] = None
+    for lineno, line in enumerate(lines[:-1], start=1):
+        if line.startswith("# TYPE "):
+            parts = line.split(" ")
+            if len(parts) != 4:
+                raise ValueError(f"line {lineno}: malformed TYPE line")
+            _, _, name, mtype = parts
+            if not _NAME_RE.match(name):
+                raise ValueError(f"line {lineno}: invalid family name {name!r}")
+            if mtype not in _SUFFIXES:
+                raise ValueError(f"line {lineno}: unsupported type {mtype!r}")
+            if name in families:
+                raise ValueError(f"line {lineno}: duplicate TYPE for {name!r}")
+            families[name] = {"type": mtype, "samples": []}
+            current = name
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(" ", 3)
+            if len(parts) < 4 or parts[2] != current:
+                raise ValueError(f"line {lineno}: HELP must follow its family's TYPE")
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"line {lineno}: unexpected comment {line!r}")
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        name, label_body, value_text = match.groups()
+        if current is None:
+            raise ValueError(f"line {lineno}: sample before any TYPE declaration")
+        suffixes = _SUFFIXES[families[current]["type"]]
+        if not any(name == current + suffix for suffix in suffixes):
+            raise ValueError(
+                f"line {lineno}: sample {name!r} does not belong to family "
+                f"{current!r} (type {families[current]['type']})"
+            )
+        labels: Tuple[Tuple[str, str], ...] = ()
+        if label_body is not None:
+            if label_body and not _LABEL_BODY_RE.match(label_body):
+                raise ValueError(f"line {lineno}: malformed labels {{{label_body}}}")
+            labels = tuple(
+                (label, value) for label, value in _LABEL_RE.findall(label_body)
+            )
+        families[current]["samples"].append((name, labels, _parse_float(value_text)))
+
+    for family, info in families.items():
+        if info["type"] != "histogram":
+            continue
+        _check_histogram(family, info["samples"])
+    return families
+
+
+def _check_histogram(
+    family: str, samples: List[Tuple[str, Tuple[Tuple[str, str], ...], float]]
+) -> None:
+    buckets: Dict[Tuple[Tuple[str, str], ...], List[Tuple[float, float]]] = {}
+    counts: Dict[Tuple[Tuple[str, str], ...], float] = {}
+    sums: Dict[Tuple[Tuple[str, str], ...], float] = {}
+    for name, labels, value in samples:
+        if name == f"{family}_bucket":
+            le = dict(labels).get("le")
+            if le is None:
+                raise ValueError(f"{family}: bucket sample without 'le' label")
+            rest = tuple(pair for pair in labels if pair[0] != "le")
+            buckets.setdefault(rest, []).append((_parse_float(le), value))
+        elif name == f"{family}_count":
+            counts[labels] = value
+        elif name == f"{family}_sum":
+            sums[labels] = value
+    for labels, series in buckets.items():
+        bounds = [bound for bound, _ in series]
+        if bounds != sorted(bounds):
+            raise ValueError(f"{family}{dict(labels)}: 'le' bounds not ascending")
+        values = [value for _, value in series]
+        if any(b > a for a, b in zip(values[1:], values)):
+            raise ValueError(f"{family}{dict(labels)}: bucket counts not cumulative")
+        if bounds[-1] != float("inf"):
+            raise ValueError(f"{family}{dict(labels)}: missing +Inf bucket")
+        if labels not in counts or labels not in sums:
+            raise ValueError(f"{family}{dict(labels)}: missing _sum or _count")
+        if values[-1] != counts[labels]:
+            raise ValueError(f"{family}{dict(labels)}: +Inf bucket != _count")

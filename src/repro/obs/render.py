@@ -1,0 +1,94 @@
+"""ASCII waterfall and flamegraph renderers for span trees.
+
+Terminal-friendly views of where a transaction's time went: the waterfall
+shows one trace's spans as indented bars over the root window (a textual
+Gantt chart); the flamegraph aggregates *exclusive* time by name-stack
+across many traces, folded-stack style (the same ``a;b;c  value`` lines
+``flamegraph.pl`` consumes, plus a proportional bar).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.obs.critical import attribute_latency
+from repro.obs.spans import Span, SpanRecorder, SpanTree
+
+
+def _bar(start: float, end: float, lo: float, hi: float, width: int) -> str:
+    """A ``width``-column bar marking [start, end] within [lo, hi]."""
+    if hi <= lo:
+        return " " * width
+    scale = width / (hi - lo)
+    left = int((start - lo) * scale)
+    right = max(left + 1, int(round((end - lo) * scale)))
+    right = min(right, width)
+    return " " * left + "#" * (right - left) + " " * (width - right)
+
+
+def render_waterfall(tree: SpanTree, width: int = 48) -> str:
+    """One trace as an indented Gantt chart over the root window."""
+    root = tree.root
+    if root is None:
+        return f"trace {tree.trace_id}: no spans"
+    lo = root.start
+    hi = root.end if root.end is not None else lo
+    header = (
+        f"trace {tree.trace_id}  [{lo:.3f} .. {hi:.3f}]  "
+        f"duration {hi - lo:.3f}"
+    )
+    lines = [header]
+    labels: List[Tuple[str, Span]] = []
+    for span, depth in tree.walk():
+        labels.append(("  " * depth + f"{span.name} ({span.node})", span))
+    label_width = max(len(label) for label, _ in labels)
+    for label, span in labels:
+        end = span.end if span.end is not None else hi
+        lines.append(
+            f"{label.ljust(label_width)} |{_bar(span.start, end, lo, hi, width)}| "
+            f"{end - span.start:8.3f}"
+        )
+    return "\n".join(lines)
+
+
+def folded_stacks(recorder: SpanRecorder) -> Dict[str, float]:
+    """Exclusive time per name-stack path across every sampled trace.
+
+    Keys are ``root;child;...;span`` name paths; values sum the exclusive
+    time charged to spans at that path by the critical-path partition — so
+    the flamegraph and the critical-path table always agree.
+    """
+    totals: Dict[str, float] = {}
+    for trace_id in recorder.traces():
+        tree = recorder.tree(trace_id)
+        if tree.root is None:
+            continue
+        attribution = attribute_latency(tree)
+        paths: Dict[int, str] = {}
+        for span, _depth in tree.walk():
+            if span.parent_id is not None and span.parent_id in paths:
+                paths[span.span_id] = paths[span.parent_id] + ";" + span.name
+            else:
+                paths[span.span_id] = span.name
+            exclusive = attribution.by_span.get(span.span_id, 0.0)
+            if exclusive > 0.0:
+                path = paths[span.span_id]
+                totals[path] = totals.get(path, 0.0) + exclusive
+    return totals
+
+
+def render_flame(recorder: SpanRecorder, width: int = 40) -> str:
+    """Folded-stack flamegraph of exclusive time, widest stacks first."""
+    totals = folded_stacks(recorder)
+    if not totals:
+        return "no spans recorded"
+    # Sort by weight descending, path ascending — a total order, so the
+    # rendering is deterministic even across equal weights.
+    ordered = sorted(totals.items(), key=lambda item: (-item[1], item[0]))
+    top = ordered[0][1]
+    path_width = max(len(path) for path, _ in ordered)
+    lines = []
+    for path, value in ordered:
+        bar = "#" * max(1, int(round(width * value / top))) if top > 0 else ""
+        lines.append(f"{path.ljust(path_width)} {value:10.3f}  {bar}")
+    return "\n".join(lines)

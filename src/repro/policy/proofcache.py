@@ -46,6 +46,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, Iterator, Optional, Sequence, Set, Tuple
 
+from repro.obs.spans import Span, annotate
 from repro.policy.credentials import CARegistry, Credential
 from repro.policy.policy import Operation, Policy, PolicyId
 from repro.policy.proofs import (
@@ -112,6 +113,7 @@ class ProofCache:
         registry: CARegistry,
         revocation: Optional[RevocationChecker] = None,
         counters: Optional[object] = None,
+        obs_span: Optional[Span] = None,
     ) -> ProofOfAuthorization:
         """``evaluate_proof`` with memoization; verdict-identical to it.
 
@@ -122,16 +124,18 @@ class ProofCache:
         cache and evaluates directly.  ``counters`` (an
         :class:`~repro.policy.rules.EngineCounters`) is forwarded to the
         inference engine on misses and bypasses; hits do no inference, so
-        they add nothing to it.
+        they add nothing to it.  ``obs_span`` gets a ``cache`` attribute
+        (``hit``/``miss``/``bypass``) plus the verdict.
         """
         revocation = revocation or LocalRevocationChecker(registry)
         key = self._key(policy, user, operation, items, credentials, revocation)
         if key is None:
             if self.stats is not None:
                 self.stats.on_bypass(self.server)
+            annotate(obs_span, cache="bypass")
             return evaluate_proof(
                 policy, query_id, user, operation, items, credentials,
-                server, now, registry, revocation, counters,
+                server, now, registry, revocation, counters, obs_span,
             )
 
         entry = self._entries.get(key)
@@ -139,13 +143,22 @@ class ProofCache:
             self._entries.move_to_end(key)
             if self.stats is not None:
                 self.stats.on_hit(self.server)
-            return replace(
+            proof = replace(
                 entry.proof, query_id=query_id, server=server, evaluated_at=now
             )
+            annotate(
+                obs_span,
+                cache="hit",
+                granted=proof.granted,
+                reason=proof.reason,
+                version=proof.policy_version,
+            )
+            return proof
 
+        annotate(obs_span, cache="miss")
         proof = evaluate_proof(
             policy, query_id, user, operation, items, credentials,
-            server, now, registry, revocation, counters,
+            server, now, registry, revocation, counters, obs_span,
         )
         window_start, window_end = self._validity_window(credentials, now, revocation)
         self._store(key, _Entry(proof, window_start, window_end))

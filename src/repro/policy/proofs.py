@@ -26,6 +26,7 @@ import abc
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.obs.spans import Span, annotate
 from repro.policy.credentials import CARegistry, Credential
 from repro.policy.policy import Operation, Policy, PolicyId
 from repro.policy.rules import EngineCounters, FactBase, ProofNode
@@ -213,6 +214,7 @@ def evaluate_proof(
     registry: CARegistry,
     revocation: Optional[RevocationChecker] = None,
     counters: Optional[EngineCounters] = None,
+    obs_span: Optional[Span] = None,
 ) -> ProofOfAuthorization:
     """Evaluate ``eval(f, now)`` and build the full proof record.
 
@@ -230,7 +232,8 @@ def evaluate_proof(
     operation, Deferred re-proves everything at commit — can route through
     :meth:`repro.policy.proofcache.ProofCache.evaluate`, which calls this
     function on misses and is guaranteed to return verdict-identical
-    records on hits.
+    records on hits.  ``obs_span``, when given, receives the verdict as
+    span attributes (``granted``/``reason``) for the tracing subsystem.
     """
     revocation = revocation or LocalRevocationChecker(registry)
     assessments = assess_credentials(credentials, registry, revocation, now)
@@ -252,6 +255,7 @@ def evaluate_proof(
             break
         derivations.append(derivation)
 
+    annotate(obs_span, granted=granted, reason=reason, version=policy.version)
     return ProofOfAuthorization(
         query_id=query_id,
         user=user,

@@ -22,6 +22,7 @@ from itertools import count
 from typing import Any, Dict, Generator, Mapping, Optional, Set, Tuple
 
 from repro.errors import NetworkError, RequestTimeout, SimulationError
+from repro.obs.spans import KIND_RPC, Span, SpanRecorder, context_of
 from repro.sim.events import Event
 from repro.sim.kernel import Environment
 from repro.sim.tracing import Tracer
@@ -140,9 +141,12 @@ class Node:
         """
         raise NotImplementedError(f"{self.name} cannot handle {message.kind!r}")
 
-    def send(self, dst: str, kind: str, category: str, **payload: Any) -> Message:
-        """Fire-and-forget send."""
-        return self._net().send(self.name, dst, kind, payload, category)
+    def send(
+        self, dst: str, kind: str, category: str, span: Any = None, **payload: Any
+    ) -> Message:
+        """Fire-and-forget send.  ``span`` (if any) is propagated as the
+        receiver's causal parent via the ``span_ctx`` payload key."""
+        return self._net().send(self.name, dst, kind, payload, category, span=span)
 
     def request(
         self,
@@ -150,10 +154,18 @@ class Node:
         kind: str,
         category: str,
         timeout: Optional[float] = None,
+        span: Any = None,
         **payload: Any,
     ) -> Event:
-        """Send and return an event that resolves with the reply message."""
-        return self._net().request(self.name, dst, kind, payload, category, timeout=timeout)
+        """Send and return an event that resolves with the reply message.
+
+        When ``span`` is given (and its trace is sampled) the network opens
+        an ``rpc.<kind>`` child span covering the full round trip; the
+        receiver's handler parents under that RPC span.
+        """
+        return self._net().request(
+            self.name, dst, kind, payload, category, timeout=timeout, span=span
+        )
 
     def reply(self, to: Message, kind: str, category: str, **payload: Any) -> Message:
         """Answer a request message."""
@@ -186,11 +198,14 @@ class Network:
         tracer: Optional[Tracer] = None,
         message_hook: Optional[Any] = None,
         drop_rate: float = 0.0,
+        spans: Optional[SpanRecorder] = None,
     ) -> None:
         self.env = env
         self.rng = rng or random.Random(0)  # verify: ignore[DET005] -- seeded default keeps un-wired networks deterministic
         self.latency = latency or FixedLatency(1.0)
         self.tracer = tracer
+        #: Causal span recorder (``repro.obs``); None disables propagation.
+        self.spans = spans
         #: Optional object with an ``on_message(message)`` method (metrics).
         self.message_hook = message_hook
         if not 0.0 <= drop_rate < 1.0:
@@ -199,6 +214,8 @@ class Network:
         self.nodes: Dict[str, Node] = {}
         self.failed_links: Set[Tuple[str, str]] = set()
         self._pending: Dict[int, Event] = {}
+        #: Open RPC spans keyed by request msg_id (closed on reply/timeout).
+        self._pending_rpc: Dict[int, Span] = {}
         self._msg_ids = count(1)
 
     # -- topology ----------------------------------------------------------
@@ -241,21 +258,29 @@ class Network:
         payload: Mapping[str, Any],
         category: str,
         reply_to: Optional[int] = None,
+        span: Any = None,
     ) -> Message:
         """Send a message; delivery is scheduled after a sampled latency.
 
         The message is *counted* (hook + trace) at send time, matching the
         paper's convention of counting messages sent, whether or not they
-        arrive.
+        arrive.  ``span`` (a :class:`repro.obs.spans.Span` or context
+        tuple) is embedded as the ``span_ctx`` payload key so the
+        receiver's handler can parent its work under the sender's span.
         """
         if dst not in self.nodes:
             raise NetworkError(f"unknown destination {dst!r}")
+        body = dict(payload)
+        if self.spans is not None and span is not None:
+            ctx = context_of(span)
+            if ctx is not None:
+                body["span_ctx"] = ctx
         message = Message(
             msg_id=next(self._msg_ids),
             src=src,
             dst=dst,
             kind=kind,
-            payload=dict(payload),
+            payload=body,
             category=category,
             reply_to=reply_to,
         )
@@ -302,6 +327,9 @@ class Network:
             # A reply resolves its pending request; replies to fire-and-forget
             # sends and stragglers arriving after a timeout are dropped.
             waiter = self._pending.pop(message.reply_to, None)
+            rpc_span = self._pending_rpc.pop(message.reply_to, None)
+            if rpc_span is not None and self.spans is not None:
+                self.spans.finish(rpc_span, self.env.now)
             if waiter is not None and not waiter.triggered:
                 waiter.succeed(message)
             return
@@ -319,21 +347,37 @@ class Network:
         payload: Mapping[str, Any],
         category: str,
         timeout: Optional[float] = None,
+        span: Any = None,
     ) -> Event:
         """Send a message and return an event resolving with the reply.
 
         If ``timeout`` elapses first, the event fails with
-        :class:`RequestTimeout`.
+        :class:`RequestTimeout`.  When ``span`` is given, an ``rpc.<kind>``
+        child span covers the round trip (closed at reply delivery, or at
+        timeout with ``status="timeout"`` — server work outliving a
+        timed-out RPC is the one sanctioned parent-window escape).
         """
-        message = self.send(src, dst, kind, payload, category)
+        rpc: Optional[Span] = None
+        if self.spans is not None and span is not None:
+            ctx = context_of(span)
+            if ctx is not None:
+                rpc = self.spans.start(
+                    ctx[0], f"rpc.{kind}", KIND_RPC, src, self.env.now, parent=ctx, dst=dst
+                )
+        message = self.send(src, dst, kind, payload, category, span=rpc if rpc is not None else span)
         waiter = self.env.event()
         self._pending[message.msg_id] = waiter
+        if rpc is not None:
+            self._pending_rpc[message.msg_id] = rpc
         if timeout is not None:
 
             def _expire(_event: Event) -> None:
                 if waiter.triggered:
                     return
                 self._pending.pop(message.msg_id, None)
+                rpc_span = self._pending_rpc.pop(message.msg_id, None)
+                if rpc_span is not None and self.spans is not None:
+                    self.spans.finish(rpc_span, self.env.now, status="timeout")
                 waiter.fail(RequestTimeout(f"{kind} {src}->{dst} timed out after {timeout}"))
 
             self.env.timeout(timeout).add_callback(_expire)

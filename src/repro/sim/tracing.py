@@ -42,10 +42,28 @@ class Tracer:
         self._records: List[TraceRecord] = []
 
     def record(self, time: float, category: str, **details: Any) -> None:
-        """Append a record (no-op when tracing is disabled)."""
+        """Append a record (no-op when tracing is disabled).
+
+        Details are stored key-sorted (the invariant every consumer relies
+        on), but most call sites already pass 0–1 details or keyword
+        arguments in alphabetical order, so the common case is a plain
+        adjacent-keys scan instead of a sort — tracing is on the hot path
+        of every message, lock transition, and proof evaluation.  The scan
+        is an explicit loop, not a generator expression: per-record
+        generator setup costs more than the comparisons it saves (see the
+        micro-bench note in docs/performance.md).
+        """
         if not self.enabled:
             return
-        self._records.append(TraceRecord(time, category, tuple(sorted(details.items()))))
+        items = tuple(details.items())
+        if len(items) > 1:
+            prev = ""
+            for key, _value in items:
+                if key < prev:
+                    items = tuple(sorted(items))
+                    break
+                prev = key
+        self._records.append(TraceRecord(time, category, items))
 
     def __len__(self) -> int:
         return len(self._records)

@@ -40,6 +40,13 @@ from repro.errors import (
 from repro.metrics.counters import Metrics
 from repro.metrics.stats import TransactionOutcome
 from repro.metrics.timeline import TXN_DONE, TXN_READY, TXN_START
+from repro.obs.spans import (
+    KIND_PHASE,
+    KIND_TXN,
+    NULL_RECORDER,
+    PHASE_EXECUTE,
+    SpanRecorder,
+)
 from repro.policy.policy import PolicyId
 from repro.sim.events import Event
 from repro.sim.network import Message, Node
@@ -59,12 +66,14 @@ class TransactionManager(Node):
         catalog: ItemCatalog,
         metrics: Metrics,
         tracer: Optional[Tracer] = None,
+        obs: Optional[SpanRecorder] = None,
     ) -> None:
         super().__init__(name)
         self.config = config
         self.catalog = catalog
         self.metrics = metrics
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        self.obs = obs if obs is not None else NULL_RECORDER
         self.wal = WriteAheadLog(name)
         self.outcomes: List[TransactionOutcome] = []
         self.active: Dict[str, TxnContext] = {}
@@ -113,6 +122,7 @@ class TransactionManager(Node):
             msg.MASTER_VERSION_QUERY,
             msg.CAT_MASTER,
             timeout=self.config.request_timeout,
+            span=ctx.phase_span or ctx.root_span,
             txn_id=ctx.txn_id,
             admins=admins,
         )
@@ -136,6 +146,23 @@ class TransactionManager(Node):
         )
         self.active[txn.txn_id] = ctx
         self.tracer.record(self.env.now, TXN_START, txn_id=txn.txn_id)
+        ctx.root_span = self.obs.start(
+            txn.txn_id,
+            "txn",
+            KIND_TXN,
+            self.name,
+            self.env.now,
+            approach=approach.name,
+            consistency=consistency.value,
+        )
+        ctx.phase_span = self.obs.start(
+            txn.txn_id,
+            PHASE_EXECUTE,
+            KIND_PHASE,
+            self.name,
+            self.env.now,
+            parent=ctx.root_span,
+        )
 
         decision = Decision.ABORT
         try:
@@ -148,6 +175,8 @@ class TransactionManager(Node):
                 yield from approach.on_query_result(self, ctx, query, server, reply)
             ctx.ready_at = self.env.now  # ω(T): ready to commit
             self.tracer.record(self.env.now, TXN_READY, txn_id=txn.txn_id)
+            self.obs.finish(ctx.phase_span, self.env.now)
+            ctx.phase_span = None
             ctx.status = TxnStatus.VALIDATING
             result = yield from approach.at_commit(self, ctx)
             ctx.voting_rounds += result.rounds
@@ -177,6 +206,15 @@ class TransactionManager(Node):
             txn_id=txn.txn_id,
             committed=(decision is Decision.COMMIT),
         )
+        # Abort paths can leave the execute phase open; close it before the root.
+        self.obs.finish(ctx.phase_span, self.env.now)
+        ctx.phase_span = None
+        self.obs.finish(
+            ctx.root_span,
+            self.env.now,
+            committed=(decision is Decision.COMMIT),
+            abort_reason=ctx.abort_reason.value if ctx.abort_reason else None,
+        )
         outcome = self._build_outcome(ctx)
         self.outcomes.append(outcome)
         self.finished[txn.txn_id] = ctx
@@ -205,6 +243,7 @@ class TransactionManager(Node):
                 msg.EXECUTE_QUERY,
                 msg.CAT_QUERY,
                 timeout=self.config.request_timeout,
+                span=ctx.phase_span or ctx.root_span,
                 txn_id=ctx.txn_id,
                 query=query,
                 user=ctx.txn.user,

@@ -26,6 +26,7 @@ from repro.db.items import ItemCatalog
 from repro.errors import SimulationError
 from repro.metrics.counters import Metrics
 from repro.metrics.stats import TransactionOutcome
+from repro.obs.spans import SpanRecorder
 from repro.policy.admin import PolicyAdministrator
 from repro.policy.credentials import CARegistry, CertificateAuthority, Credential
 from repro.policy.ocsp import OCSPResponder
@@ -68,6 +69,8 @@ class Cluster:
     rng: RandomStreams
     metrics: Metrics
     tracer: Tracer
+    #: Causal span recorder shared by every node (see :mod:`repro.obs`).
+    obs: SpanRecorder
     config: CloudConfig
     registry: CARegistry
     catalog: ItemCatalog
@@ -220,12 +223,14 @@ def assemble_cluster(
     env = Environment()
     metrics = Metrics()
     tracer = Tracer(enabled=trace)
+    obs = SpanRecorder(enabled=config.obs_spans, sample_rate=config.obs_sample_rate)
     network = Network(
         env,
         rng=rng.stream("network"),
         latency=config.latency,
         tracer=tracer,
         message_hook=metrics,
+        spans=obs,
     )
     registry = CARegistry()
     users_ca = registry.add(CertificateAuthority("users-ca"))
@@ -239,6 +244,7 @@ def assemble_cluster(
             registry,
             metrics,
             tracer,
+            obs=obs,
             default_admin=spec.admin,
         )
         server.host_items(dict(spec.items), admin=spec.admin)
@@ -246,7 +252,7 @@ def assemble_cluster(
         network.register(server)
         servers[spec.name] = server
 
-    master = MasterVersionService(config.master_name)
+    master = MasterVersionService(config.master_name, obs=obs)
     network.register(master)
     replicator = PolicyReplicator(
         "replicator", rng.stream("replication"), config.replication_delay
@@ -265,7 +271,7 @@ def assemble_cluster(
 
     tms = []
     for index in range(1, n_tms + 1):
-        tm = TransactionManager(f"tm{index}", config, catalog, metrics, tracer)
+        tm = TransactionManager(f"tm{index}", config, catalog, metrics, tracer, obs=obs)
         network.register(tm)
         tms.append(tm)
 
@@ -275,6 +281,7 @@ def assemble_cluster(
         rng=rng,
         metrics=metrics,
         tracer=tracer,
+        obs=obs,
         config=config,
         registry=registry,
         catalog=catalog,

@@ -1,0 +1,69 @@
+"""Smoke tests for every ``python -m repro.obs`` subcommand.
+
+Tiny workloads — the point is that each subcommand runs end to end, exits
+zero, and emits its artifact; depth lives in the sibling test modules.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.__main__ import main
+
+FAST = ["--transactions", "3", "--seed", "7"]
+
+
+def test_spans_smoke(capsys):
+    assert main(["spans", *FAST, "--limit", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "continuous/view traces" in out
+    assert "phase.execute" in out  # the waterfall rendered
+
+
+def test_spans_specific_trace(capsys):
+    assert main(["spans", *FAST, "--trace", "w1"]) == 0
+    assert "trace w1" in capsys.readouterr().out
+
+
+def test_spans_unknown_trace_fails(capsys):
+    assert main(["spans", *FAST, "--trace", "nope"]) == 2
+
+
+def test_critical_path_smoke(capsys):
+    assert main(
+        ["critical-path", *FAST, "--approach", "deferred", "--consistency", "view"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "critical-path attribution" in out
+    assert "reconciliation" in out
+
+
+def test_flame_smoke(capsys):
+    assert main(["flame", *FAST]) == 0
+    assert "txn;" in capsys.readouterr().out
+
+
+def test_export_openmetrics_smoke(capsys, tmp_path):
+    from repro.obs.openmetrics import validate_openmetrics
+
+    out_file = tmp_path / "metrics.om"
+    assert main(
+        ["export", *FAST, "--format", "openmetrics", "--out", str(out_file)]
+    ) == 0
+    families = validate_openmetrics(out_file.read_text(encoding="utf-8"))
+    assert "repro_span_duration" in families
+
+
+def test_export_jsonl_smoke(capsys, tmp_path):
+    out_file = tmp_path / "spans.jsonl"
+    assert main(["export", *FAST, "--format", "jsonl", "--out", str(out_file)]) == 0
+    lines = out_file.read_text(encoding="utf-8").splitlines()
+    assert lines
+    first = json.loads(lines[0])
+    assert first["trace_id"] == "w0"
+    assert first["kind"] == "txn"
+
+
+def test_export_stdout(capsys):
+    assert main(["export", *FAST, "--format", "openmetrics"]) == 0
+    assert "# EOF" in capsys.readouterr().out

@@ -1,0 +1,82 @@
+"""Critical-path attribution: the reconciliation invariant and aggregates.
+
+The exclusive-time partition must telescope to end-to-end latency exactly
+(within float noise, gated at 1e-6) for every trace of every
+(approach, consistency) cell — that is what makes the attribution table
+trustworthy as a *decomposition* of latency rather than a sampling of it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.critical import (
+    CATEGORIES,
+    aggregate_grid,
+    attribute_latency,
+    phase_columns,
+)
+
+from .conftest import APPROACHES, TRANSACTIONS
+
+TOLERANCE = 1e-6
+
+
+@pytest.mark.parametrize("level", ["view", "global"])
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_exclusive_times_reconcile_with_latency(cluster_factory, approach, level):
+    recorder = cluster_factory(approach, level).obs
+    for trace_id in recorder.traces():
+        tree = recorder.tree(trace_id)
+        attribution = attribute_latency(tree)
+        assert attribution.total == pytest.approx(
+            tree.root.duration, abs=TOLERANCE
+        )
+        assert attribution.exclusive_sum == pytest.approx(
+            attribution.total, abs=TOLERANCE
+        )
+        by_category_sum = sum(attribution.by_category.values())
+        assert by_category_sum == pytest.approx(attribution.total, abs=TOLERANCE)
+
+
+@pytest.mark.parametrize("level", ["view", "global"])
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_grid_cell_aggregates(cluster_factory, approach, level):
+    recorder = cluster_factory(approach, level).obs
+    cells = aggregate_grid(recorder)
+    assert len(cells) == 1  # one (approach, consistency) per cluster
+    cell = cells[0]
+    assert cell.approach == approach
+    assert cell.consistency == level
+    assert cell.count == TRANSACTIONS
+    assert set(cell.mean_by_category) == set(CATEGORIES)
+    assert sum(cell.mean_by_category.values()) == pytest.approx(
+        cell.mean_latency, abs=TOLERANCE
+    )
+    # Distributed transactions must spend some of their latency on the wire.
+    assert cell.mean_by_category["network"] > 0.0
+
+
+@pytest.mark.parametrize("approach", APPROACHES)
+def test_phase_columns_bounded_by_latency(cluster_factory, approach):
+    recorder = cluster_factory(approach, "view").obs
+    columns = phase_columns(recorder)
+    assert set(columns) == set(recorder.traces())
+    for trace_id, row in columns.items():
+        root = recorder.tree(trace_id).root
+        assert row["execution_time"] >= 0.0
+        assert row["validation_time"] >= 0.0
+        assert row["commit_time"] >= 0.0
+        assert row["lock_wait_time"] >= 0.0
+        # Phases are disjoint slices of the root window (locks overlap them).
+        phase_sum = row["execution_time"] + row["validation_time"] + row["commit_time"]
+        assert phase_sum <= root.duration + TOLERANCE
+
+
+def test_continuous_validation_nested_in_execution(cluster_factory):
+    """Continuous runs 2PV inside execution; the columns must not double-count."""
+    recorder = cluster_factory("continuous", "view").obs
+    columns = phase_columns(recorder)
+    assert any(row["validation_time"] > 0.0 for row in columns.values())
+    for row in columns.values():
+        assert row["execution_time"] >= 0.0  # nested 2PV already subtracted
