@@ -307,6 +307,7 @@ def main(argv=None) -> int:
     report["all_equivalence_checks_passed"] = ok
 
     out_path = pathlib.Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
     out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(report, indent=2))
     print(f"\nwrote {out_path}")

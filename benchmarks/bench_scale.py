@@ -1,0 +1,256 @@
+"""Table I at planet scale: sharded multi-region runs of every approach.
+
+The paper's evaluation (Section VI) replays tens of transactions against a
+single data center.  This bench replays **tens of thousands** against the
+multi-region testbed — 3 regions x N shards, each shard a replica group
+with a region-pinned coordinator, the policy master pinned to one region —
+and reports how the four enforcement approaches diverge when a
+transaction's coordinator sits an ocean away from the policy master:
+
+* **cross-region commit latency** — mean commit latency split by whether
+  the coordinating TM shares a region with the master (every master
+  fetch from elsewhere pays a WAN round trip);
+* **abort columns** — abort rate and per-reason breakdown (policy
+  inconsistency vs deadlock vs timeout);
+* **stale commits** — commits whose proofs were evaluated under a policy
+  version no longer the master's latest by decision time (the anomaly
+  the weaker approach/consistency pairs trade for latency), measured
+  online by :class:`repro.analysis.scale.StaleCommitTracker`.
+
+Per-region policy-update storms run throughout, so replication lag is
+real.  Every run must pass ``repro.verify`` with zero violations — a
+violation is a correctness failure, not a benchmark result, and exits
+non-zero.
+
+Writes ``BENCH_SCALE.json`` (repo root by default).  Run:
+
+    PYTHONPATH=src python benchmarks/bench_scale.py [--quick] [--out PATH]
+
+The full run (10^4 users, 6 shards, both consistency levels) takes a few
+minutes; ``--quick`` is the CI smoke size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.analysis.scale import (
+    ScaleRunResult,
+    StaleCommitTracker,
+    split_by_master_locality,
+)
+from repro.cloud.config import CloudConfig
+from repro.core.consistency import ConsistencyLevel
+from repro.metrics.stats import aggregate
+from repro.workloads.runner import OpenLoopRunner
+from repro.workloads.scale import (
+    PolicyStormProcess,
+    ScaleWorkloadSpec,
+    generate_scale_workload,
+    mint_user_credentials,
+    storm_schedule,
+)
+from repro.workloads.testbed import build_multiregion_cluster
+
+from _common import APPROACHES, emit_table
+
+SEED = 83
+#: Per-region storms per run scales with the horizon: one storm roughly
+#: every ``horizon / STORMS_PER_REGION`` time units.
+STORMS_PER_REGION = 6
+
+
+def run_one(
+    approach: str,
+    consistency: ConsistencyLevel,
+    n_users: int,
+    shards_per_region: int,
+    items_per_shard: int,
+    arrival_rate: float,
+) -> ScaleRunResult:
+    """One fresh cluster + identical seeded workload for one cell."""
+    config = CloudConfig(request_timeout=3000.0)
+    cluster = build_multiregion_cluster(
+        shards_per_region=shards_per_region,
+        items_per_shard=items_per_shard,
+        replication_factor=2,
+        seed=SEED,
+        config=config,
+    )
+    spec = ScaleWorkloadSpec(
+        n_users=n_users,
+        arrival_rate=arrival_rate,
+        txn_length=2,
+        read_fraction=0.85,
+        zipf_skew=0.8,
+        locality=0.9,
+    )
+    credentials = mint_user_credentials(cluster, spec.n_users)
+    schedule = generate_scale_workload(
+        spec, cluster.shards, random.Random(SEED + 1), credentials
+    )
+    horizon = schedule[-1].arrival
+    storms = storm_schedule(
+        list(cluster.shards.regions),
+        random.Random(SEED + 2),
+        horizon=horizon,
+        mean_interval=horizon / STORMS_PER_REGION,
+        updates_per_storm=3,
+        spacing=2.0,
+        mode="benign",
+    )
+    storm_process = PolicyStormProcess(cluster, storms)
+    storm_process.start()
+
+    tracker = StaleCommitTracker(cluster)
+    runner = OpenLoopRunner(
+        cluster,
+        approach,
+        consistency,
+        tm_for=cluster.tm_index_for,
+        on_outcome=tracker.observe,
+    )
+    outcomes = runner.run(
+        [entry.txn for entry in schedule], [entry.arrival for entry in schedule]
+    )
+    overall = aggregate(outcomes)
+    locality = split_by_master_locality(outcomes, runner.assignments, cluster)
+    report = cluster.verify()
+    return ScaleRunResult(
+        approach=approach,
+        consistency=consistency.name.lower(),
+        overall=overall,
+        locality=locality,
+        stale_commits=tracker.stale_commits,
+        stale_rate=tracker.stale_rate,
+        cross_region_messages=cluster.metrics.regions.cross_region,
+        intra_region_messages=cluster.metrics.regions.intra_region,
+        cross_region_bytes=cluster.metrics.regions.cross_region_bytes(),
+        verify_violations=len(report.violations),
+        storm_publications=storm_process.published,
+        extra={"throughput": round(runner.throughput(), 4)},
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="CI-sized run")
+    parser.add_argument(
+        "--out",
+        default=str(pathlib.Path(__file__).resolve().parent.parent / "BENCH_SCALE.json"),
+        help="where to write the JSON report",
+    )
+    parser.add_argument("--users", type=int, default=None, help="simulated users per run")
+    parser.add_argument(
+        "--shards-per-region", type=int, default=2, help="shards homed in each region"
+    )
+    parser.add_argument(
+        "--arrival-rate", type=float, default=0.4, help="user arrivals per time unit"
+    )
+    args = parser.parse_args(argv)
+    n_users = args.users if args.users is not None else (300 if args.quick else 10_000)
+    items_per_shard = 32 if args.quick else 64
+
+    results: List[ScaleRunResult] = []
+    wall: Dict[str, float] = {}
+    for approach in APPROACHES:
+        for level in (ConsistencyLevel.VIEW, ConsistencyLevel.GLOBAL):
+            start = time.perf_counter()
+            result = run_one(
+                approach,
+                level,
+                n_users=n_users,
+                shards_per_region=args.shards_per_region,
+                items_per_shard=items_per_shard,
+                arrival_rate=args.arrival_rate,
+            )
+            wall[f"{approach}/{result.consistency}"] = round(
+                time.perf_counter() - start, 2
+            )
+            results.append(result)
+            print(
+                f"{approach:12s} {result.consistency:6s} "
+                f"commits={result.overall.commits}/{result.overall.count} "
+                f"stale={result.stale_commits} "
+                f"gap={result.locality.commit_latency_gap:+.1f} "
+                f"violations={result.verify_violations}"
+            )
+
+    emit_table(
+        "scale",
+        [
+            "approach",
+            "consistency",
+            "commit %",
+            "stale %",
+            "local lat",
+            "remote lat",
+            "gap",
+            "abort %",
+        ],
+        [
+            [
+                r.approach,
+                r.consistency,
+                f"{100 * (1 - r.overall.abort_rate):.1f}",
+                f"{100 * r.stale_rate:.1f}",
+                f"{r.locality.local.mean_commit_latency:.0f}",
+                f"{r.locality.remote.mean_commit_latency:.0f}",
+                f"{r.locality.commit_latency_gap:+.0f}",
+                f"{100 * r.overall.abort_rate:.1f}",
+            ]
+            for r in results
+        ],
+        title=f"Table I at scale: {n_users} users, 3 regions x "
+        f"{args.shards_per_region} shards, replica groups of 2",
+        notes=[
+            "local/remote lat: mean commit latency by coordinator-vs-master region",
+            "stale %: commits whose proof version was superseded by decision time",
+        ],
+    )
+
+    clean = all(r.verify_violations == 0 for r in results)
+    report: Dict[str, Any] = {
+        "bench": "scale",
+        "quick": bool(args.quick),
+        "topology": {
+            "regions": 3,
+            "shards_per_region": args.shards_per_region,
+            "shards": 3 * args.shards_per_region,
+            "replication_factor": 2,
+            "items_per_shard": items_per_shard,
+            "master_region": "us-east",
+        },
+        "workload": {
+            "n_users": n_users,
+            "arrival_rate": args.arrival_rate,
+            "txn_length": 2,
+            "read_fraction": 0.85,
+            "zipf_skew": 0.8,
+            "locality": 0.9,
+            "storms_per_region": STORMS_PER_REGION,
+            "seed": SEED,
+        },
+        "rows": [r.row() for r in results],
+        "wall_seconds": wall,
+        "all_runs_violation_free": clean,
+    }
+
+    out_path = pathlib.Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"\nwrote {out_path}")
+    if not clean:
+        print("CONFORMANCE CHECK FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

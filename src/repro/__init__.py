@@ -40,6 +40,7 @@ from repro.core.twopvc import CommitResult, run_2pvc
 from repro.errors import AbortReason, ReproError, TransactionAborted
 from repro.metrics.stats import TransactionOutcome, aggregate
 from repro.policy.policy import Operation, Policy, PolicyId
+from repro.sim.topology import LinkProfile, RegionTopology, default_wan_topology
 from repro.transactions.states import Decision, TxnStatus, Vote
 from repro.transactions.transaction import Query, Transaction, next_txn_id
 from repro.workloads.testbed import (
@@ -48,6 +49,7 @@ from repro.workloads.testbed import (
     ServerSpec,
     assemble_cluster,
     build_cluster,
+    build_multiregion_cluster,
 )
 
 __version__ = "1.0.0"
@@ -61,12 +63,14 @@ __all__ = [
     "ConsistencyLevel",
     "Decision",
     "DomainSpec",
+    "LinkProfile",
     "MasterFetchMode",
     "Operation",
     "Policy",
     "PolicyId",
     "ProofApproach",
     "Query",
+    "RegionTopology",
     "ReproError",
     "ServerSpec",
     "Transaction",
@@ -78,8 +82,10 @@ __all__ = [
     "aggregate",
     "assemble_cluster",
     "build_cluster",
+    "build_multiregion_cluster",
     "check_safe",
     "check_trusted",
+    "default_wan_topology",
     "get_approach",
     "log_complexity",
     "max_messages",

@@ -9,9 +9,18 @@ from repro.analysis.accuracy import (
 from repro.analysis.adaptive import AdaptiveSelector, EwmaEstimator, run_adaptive_batch
 from repro.analysis.parallel import (
     derive_seed,
+    estimate_point_cost,
+    min_parallel_cost,
     parallel_map,
     run_sweep,
+    should_parallelize,
     with_derived_seeds,
+)
+from repro.analysis.scale import (
+    LocalitySplit,
+    ScaleRunResult,
+    StaleCommitTracker,
+    split_by_master_locality,
 )
 from repro.analysis.sweep import (
     SweepPoint,
@@ -40,12 +49,19 @@ __all__ = [
     "SweepResult",
     "compare_approaches",
     "derive_seed",
+    "estimate_point_cost",
+    "min_parallel_cost",
+    "should_parallelize",
     "empirical_quadrants",
     "parallel_map",
     "recommend",
     "recommend_regime",
     "run_point",
     "run_sweep",
+    "LocalitySplit",
+    "ScaleRunResult",
+    "StaleCommitTracker",
+    "split_by_master_locality",
     "sweep",
     "with_derived_seeds",
 ]

@@ -16,9 +16,17 @@ while keeping the three guarantees the benches rely on:
   ``os._exit``), a pool that cannot start, or an unpicklable payload all
   fall back to in-process serial execution instead of failing the run.
 
+Worker processes are not free: each one pays interpreter start-up and a
+full ``repro`` import before it simulates anything, a few hundred
+milliseconds that dwarf a small grid.  :func:`run_sweep` therefore gates
+on a deterministic cost estimate (:func:`estimate_point_cost`) and runs
+grids below :func:`min_parallel_cost` in-process — see
+``docs/performance.md`` for the calibration.
+
 ``REPRO_SWEEP_WORKERS`` (environment) overrides the default worker count;
 ``REPRO_SWEEP_SERIAL=1`` forces serial execution everywhere, which CI can
-use on constrained runners.
+use on constrained runners; ``REPRO_SWEEP_MIN_COST`` overrides the
+serial-fallback threshold (``0`` disables the gate).
 """
 
 from __future__ import annotations
@@ -40,6 +48,16 @@ ResultT = TypeVar("ResultT")
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 #: Environment knob: force serial execution (``1``/``true``/``yes``).
 SERIAL_ENV = "REPRO_SWEEP_SERIAL"
+#: Environment knob: override the minimum grid cost that justifies workers.
+MIN_COST_ENV = "REPRO_SWEEP_MIN_COST"
+
+#: Default cost threshold below which :func:`run_sweep` stays serial.
+#: Calibrated against worker start-up: a fresh process pays ~0.3-0.5 s of
+#: interpreter + ``repro`` import before its first point, and the default
+#: proof-cache bench grid (cost ~7.7k units, ~0.8 s serial) measurably
+#: *loses* wall-clock when fanned out (0.897x).  25k units ≈ 2.5 s of
+#: serial work, past which two workers reliably amortize their spawn cost.
+DEFAULT_MIN_PARALLEL_COST = 25_000
 
 
 def derive_seed(base_seed: int, index: int) -> int:
@@ -71,6 +89,51 @@ def with_derived_seeds(
 
 def _serial_forced() -> bool:
     return os.environ.get(SERIAL_ENV, "").strip().lower() in ("1", "true", "yes")
+
+
+def estimate_point_cost(point: SweepPoint) -> int:
+    """Deterministic work estimate for one point, in abstract units.
+
+    Simulation wall-clock scales with scheduled events, which scale with
+    transactions × queries-per-transaction × cluster size — the knobs a
+    :class:`SweepPoint` carries.  The estimate only has to rank grids
+    against :func:`min_parallel_cost`; it is not a time prediction.
+    """
+    return (
+        max(1, point.n_transactions)
+        * max(1, point.txn_length)
+        * max(1, point.n_servers)
+    )
+
+
+def min_parallel_cost() -> int:
+    """Cost threshold for the serial gate (``REPRO_SWEEP_MIN_COST`` wins)."""
+    override = os.environ.get(MIN_COST_ENV, "").strip()
+    if override:
+        try:
+            return max(0, int(override))
+        except ValueError:
+            pass
+    return DEFAULT_MIN_PARALLEL_COST
+
+
+def should_parallelize(
+    points: Sequence[SweepPoint], max_workers: Optional[int] = None
+) -> bool:
+    """Would :func:`run_sweep` actually use worker processes for this grid?
+
+    False when serial is forced, fewer than two points or workers are
+    available, or the grid's total :func:`estimate_point_cost` falls below
+    :func:`min_parallel_cost` — small grids finish faster in-process than
+    any worker finishes importing.  Exposed so benches can report which
+    execution plan a measurement exercised.
+    """
+    if _serial_forced() or len(points) <= 1:
+        return False
+    workers = max_workers if max_workers is not None else default_workers(len(points))
+    if workers <= 1:
+        return False
+    return sum(estimate_point_cost(point) for point in points) >= min_parallel_cost()
 
 
 def default_workers(n_items: int) -> int:
@@ -127,11 +190,13 @@ def run_sweep(
     """Run a sweep grid, in parallel by default; results in grid order.
 
     Equivalent to ``[run_point(p) for p in points]`` — literally so when
-    ``parallel`` is false, and observably so otherwise, because every
-    point's simulation is fully determined by its own seed.  Worker
-    crashes degrade to the serial path (see :func:`parallel_map`).
+    ``parallel`` is false or the grid is too small to amortize worker
+    start-up (see :func:`should_parallelize`), and observably so
+    otherwise, because every point's simulation is fully determined by its
+    own seed.  Worker crashes degrade to the serial path (see
+    :func:`parallel_map`).
     """
-    if not parallel:
+    if not parallel or not should_parallelize(points, max_workers):
         return [run_point(point) for point in points]
     return parallel_map(
         run_point, points, max_workers=max_workers, fallback_serial=fallback_serial

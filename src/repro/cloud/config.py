@@ -11,10 +11,13 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.sim.network import LatencyModel, UniformLatency
 from repro.transactions.presumed import CommitVariant, PRESUMED_NOTHING
+
+if TYPE_CHECKING:
+    from repro.sim.topology import RegionTopology
 
 
 class MasterFetchMode(enum.Enum):
@@ -35,8 +38,23 @@ class MasterFetchMode(enum.Enum):
 class CloudConfig:
     """All tunables of the simulated infrastructure."""
 
-    #: One-way network delay distribution.
+    #: One-way network delay distribution.  Ignored when ``topology`` is
+    #: set — the testbed then builds a region-aware
+    #: :class:`repro.sim.topology.RegionalLatency` instead.
     latency: LatencyModel = field(default_factory=lambda: UniformLatency(0.5, 1.5))
+    #: Multi-datacenter layout (:class:`repro.sim.topology.RegionTopology`):
+    #: regions, the pairwise latency/jitter/bandwidth matrix, and node
+    #: placement.  ``None`` keeps the single-datacenter behaviour.
+    topology: Optional["RegionTopology"] = None
+    #: When a topology is set, also charge message-size / bandwidth
+    #: transfer time on every link that declares finite bandwidth.
+    model_transfer_time: bool = True
+    #: Region the master version service (and the policy administrators'
+    #: replicator) is pinned to when a topology is set; ``None`` uses the
+    #: topology's default region.  Coordinators in other regions pay WAN
+    #: round trips for every master-version fetch — the placement choice
+    #: the Table-I-at-scale bench measures.
+    master_region: Optional[str] = None
     #: Local time a server spends executing one query (locks held).
     query_execution_time: float = 1.0
     #: Local time to evaluate one proof of authorization.

@@ -4,16 +4,26 @@ Acts like Punctual during execution but additionally requires the desired
 policy-consistency level over every *view instance* — the prefix of proofs
 evaluated so far — at each step:
 
-* **View consistency**: the TM compares the policy version reported with
-  each query result against the versions seen earlier in the transaction
-  for the same administrative domain and aborts on a mismatch.  (The
-  paper's prose says abort when "newer than one previously seen"; we abort
-  on *any* inequality, the reading under which the paper's claim that all
-  final proofs were "generated with consistent policies" actually holds —
-  see DESIGN.md §5.)
+* **View consistency**: the TM compares the policy version of the proof
+  just evaluated against the versions used by every *final proof* earlier
+  in the transaction for the same administrative domain and aborts on a
+  mismatch.  (The paper's prose says abort when "newer than one previously
+  seen"; we abort on *any* inequality, the reading under which the paper's
+  claim that all final proofs were "generated with consistent policies"
+  actually holds — see DESIGN.md §5.)
 * **Global consistency**: the TM retrieves the master version for every
-  query (the ``+u`` messages of Table I) and aborts when a server's
-  version differs from the master's.
+  query (the ``+u`` messages of Table I) and aborts unless *every* version
+  in the view instance — the new proof's and every earlier final proof's —
+  equals the master's latest.
+
+Both checks run over the accumulated prefix of final proofs, not merely
+the newest reply: policies can change *between* queries (a publication
+landing mid-transaction advances the master), and servers are deduplicated
+per query, so comparing only the latest per-server report would let a
+transaction commit with proofs spanning two versions of one domain — a
+view-consistency (Def. 2) violation the trace sanitizer flags.  The
+multi-region scale runs, where WAN gaps between queries are hundreds of
+time units wide, exercise this constantly.
 
 Because consistency was maintained throughout, commit time needs no proof
 re-validation: 2PVC runs without validation, i.e. as plain 2PC.
@@ -53,20 +63,26 @@ class IncrementalPunctualProofs(ProofApproach):
         require_granted(reply)
         admin = reply["admin"]
         version = reply["version"]
+        # The view instance so far: versions used by every final proof of
+        # this domain (the current reply's proof is already recorded).
+        seen = {
+            proof.policy_version
+            for proof in ctx.latest_proofs.values()
+            if proof.policy_id == admin
+        } | {version}
         if ctx.consistency is ConsistencyLevel.GLOBAL:
             master = ctx.master_versions.get(admin)
-            if master is None or version != master:
+            if master is None or seen != {master}:
                 raise TransactionAborted(
                     AbortReason.POLICY_INCONSISTENCY,
-                    f"server {server} at {admin.admin} v{version}, master has v{master}",
+                    f"view instance used versions {sorted(seen)} under "
+                    f"{admin.admin}, master has v{master}",
                 )
-        else:
-            seen = set(ctx.versions_seen.get(admin, {}).values())
-            if len(seen) > 1:
-                raise TransactionAborted(
-                    AbortReason.POLICY_INCONSISTENCY,
-                    f"view instance saw versions {sorted(seen)} for {admin.admin}",
-                )
+        elif len(seen) > 1:
+            raise TransactionAborted(
+                AbortReason.POLICY_INCONSISTENCY,
+                f"view instance saw versions {sorted(seen)} for {admin.admin}",
+            )
         return
         yield  # pragma: no cover - makes this function a generator
 

@@ -20,6 +20,7 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.cloud.messages import PROTOCOL_CATEGORIES
 from repro.policy.rules import EngineCounters
 from repro.sim.network import Message
+from repro.sim.topology import RegionTopology, estimate_message_size
 
 
 class MessageCounters:
@@ -64,6 +65,54 @@ class MessageCounters:
     def breakdown_for_txn(self, txn_id: str) -> Dict[str, int]:
         """Category → count for one transaction."""
         return dict(self.by_txn.get(txn_id, Counter()))
+
+
+class RegionMessageCounters:
+    """Per region-pair message and byte accounting (topology runs only).
+
+    Inactive (every hook a no-op) until :meth:`configure` binds a
+    :class:`repro.sim.topology.RegionTopology`; the testbed does that when
+    a cluster is built with ``CloudConfig.topology`` set.  Messages are
+    bucketed by ``(src region, dst region)``; bytes use the same
+    deterministic wire-size estimate the bandwidth model charges, so the
+    two views agree.  Host-side accounting only — never part of the
+    Table I complexity numbers.
+    """
+
+    def __init__(self) -> None:
+        self.topology: Optional[RegionTopology] = None
+        self.by_pair: Counter = Counter()
+        self.bytes_by_pair: Counter = Counter()
+        self.cross_region = 0
+        self.intra_region = 0
+
+    def configure(self, topology: RegionTopology) -> None:
+        """Bind the topology that classifies node pairs into region pairs."""
+        self.topology = topology
+
+    def on_message(self, message: Message) -> None:
+        if self.topology is None:
+            return
+        pair = (
+            self.topology.region_of(message.src),
+            self.topology.region_of(message.dst),
+        )
+        self.by_pair[pair] += 1
+        self.bytes_by_pair[pair] += estimate_message_size(message.payload)
+        if pair[0] == pair[1]:
+            self.intra_region += 1
+        else:
+            self.cross_region += 1
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_pair.values())
+
+    def cross_region_bytes(self) -> int:
+        """Estimated bytes that crossed a region boundary."""
+        return sum(
+            count for pair, count in self.bytes_by_pair.items() if pair[0] != pair[1]
+        )
 
 
 class ProofCounters:
@@ -161,6 +210,8 @@ class Metrics:
         self.messages = MessageCounters()
         self.proofs = ProofCounters()
         self.proof_cache = ProofCacheCounters()
+        #: Region-pair message/byte accounting (active on topology runs).
+        self.regions = RegionMessageCounters()
         #: Trace-sanitizer results (runs, events checked, violations).
         self.verification = VerificationCounters()
         #: Inference-engine work accounting (facts scanned, rules tried,
@@ -172,6 +223,7 @@ class Metrics:
     # convenience used as the network hook directly
     def on_message(self, message: Message) -> None:
         self.messages.on_message(message)
+        self.regions.on_message(message)
 
 
 @dataclass(frozen=True)
@@ -232,6 +284,23 @@ def counter_samples(metrics: "Metrics") -> List[CounterSample]:
         samples.append(CounterSample("proof_cache_events", (("event", event),), float(value)))
     for name, value in sorted(metrics.engine.snapshot().items()):
         samples.append(CounterSample("engine_work", (("counter", name),), float(value)))
+    region_pairs = sorted(metrics.regions.by_pair)
+    for src_region, dst_region in region_pairs:
+        samples.append(
+            CounterSample(
+                "region_messages",
+                (("dst_region", dst_region), ("src_region", src_region)),
+                float(metrics.regions.by_pair[(src_region, dst_region)]),
+            )
+        )
+    for src_region, dst_region in region_pairs:
+        samples.append(
+            CounterSample(
+                "region_bytes",
+                (("dst_region", dst_region), ("src_region", src_region)),
+                float(metrics.regions.bytes_by_pair[(src_region, dst_region)]),
+            )
+        )
     verification = metrics.verification
     samples.append(CounterSample("verification_runs", (), float(verification.runs)))
     samples.append(

@@ -76,6 +76,16 @@ class Policy:
         """The next version of this policy with new rules."""
         return Policy(self.policy_id, self.version + 1, rules, description)
 
+    def __wire_size__(self) -> int:
+        """Approximate serialized size in bytes (see ``repro.sim.topology``).
+
+        Policies are the largest payloads on the simulated wire (policy
+        replication, 2PV Update pushes, master replies), so their size is
+        what makes bandwidth modeling meaningful.  Charged per rule rather
+        than by deep traversal to stay cheap on the send hot path.
+        """
+        return 48 + len(self.admin) + len(self.description) + 48 * len(self.rules)
+
     def __repr__(self) -> str:
         return f"Policy({self.admin} v{self.version}, {len(self.rules)} rules)"
 

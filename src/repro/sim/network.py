@@ -59,6 +59,18 @@ class LatencyModel(abc.ABC):
     def sample(self, rng: random.Random, src: str, dst: str) -> float:
         """Draw a delay for a message from ``src`` to ``dst``."""
 
+    def sample_message(
+        self, rng: random.Random, src: str, dst: str, payload: Mapping[str, Any]
+    ) -> float:
+        """Delay for a concrete message.
+
+        The default ignores the payload and delegates to :meth:`sample`;
+        size-aware models (:class:`repro.sim.topology.RegionalLatency`)
+        override this to add a message-size / bandwidth transfer term.
+        The network calls this entry point for every delivery.
+        """
+        return self.sample(rng, src, dst)
+
 
 class FixedLatency(LatencyModel):
     """Every message takes exactly ``delay`` time units."""
@@ -303,7 +315,7 @@ class Network:
             or (self.drop_rate > 0 and self.rng.random() < self.drop_rate)
         )
         if not dropped:
-            delay = self.latency.sample(self.rng, src, dst)
+            delay = self.latency.sample_message(self.rng, src, dst, message.payload)
             arrival = self.env.timeout(delay, message)
             arrival.add_callback(self._deliver)
         return message

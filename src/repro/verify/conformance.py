@@ -59,6 +59,8 @@ class _TxnView:
     update_sends: List[VerifyEvent] = field(default_factory=list)
     #: query_id -> query.result net.send events (server replies).
     query_results: Dict[str, List[VerifyEvent]] = field(default_factory=dict)
+    #: master.versions reply sends answering this txn's master fetches.
+    master_replies: List[VerifyEvent] = field(default_factory=list)
     proofs: List[VerifyEvent] = field(default_factory=list)
     #: node -> PREPARED wal event.
     prepared: Dict[str, VerifyEvent] = field(default_factory=dict)
@@ -131,6 +133,8 @@ def _build_views(run: RunRecord) -> Dict[str, _TxnView]:
                 view.update_sends.append(event)
             elif kind == msg.QUERY_RESULT:
                 view.query_results.setdefault(event.get("query_id"), []).append(event)
+            elif kind == msg.MASTER_VERSION_REPLY:
+                view.master_replies.append(event)
         elif event.category == PROOF_EVAL:
             view.proofs.append(event)
         elif event.category == LOCK_GRANT:
@@ -332,14 +336,26 @@ def check_consistency(run: RunRecord, views: Dict[str, _TxnView]) -> List[Violat
 
             # Def. 3 (global consistency ψ), GLOBAL commits only: the single
             # version used must have been the master's latest at some point
-            # in the commit window [first final proof, decision].  The
-            # window form avoids TOCTOU false positives when a publication
-            # lands between the master fetch and the decision.
+            # in the commit window.  The window form avoids TOCTOU false
+            # positives when a publication lands between the master fetch
+            # and the decision: the version a TM acts on is the one the
+            # master *answered with*, up to a WAN round trip before the
+            # proof is evaluated, so the window opens at the last master
+            # reply sent at or before the first final proof (approaches
+            # that validate incrementally evaluate proofs far from commit)
+            # and falls back to the proof time on runs with no recorded
+            # fetch.
             if view.meta.consistency != "global":
                 continue
             proofs = next(iter(by_version.values()))
             version = next(iter(by_version))
-            window_start = min(_time_of(proof) for proof in by_version[version])
+            first_proof_at = min(_time_of(proof) for proof in by_version[version])
+            fetch_times = [
+                _time_of(reply)
+                for reply in view.master_replies
+                if _time_of(reply) <= first_proof_at
+            ]
+            window_start = max(fetch_times) if fetch_times else first_proof_at
             decision_time = view.decision_time()
             window_end = (
                 decision_time

@@ -11,7 +11,7 @@ experiments that a closed loop cannot express.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Generator, List, Optional, Sequence, Union
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Union
 
 from repro.core.approaches import ProofApproach, get_approach
 from repro.core.consistency import ConsistencyLevel
@@ -35,6 +35,16 @@ class OpenLoopRunner:
     consistency: ConsistencyLevel = ConsistencyLevel.VIEW
     outcomes: List[TransactionOutcome] = field(default_factory=list)
     assignments: Dict[str, str] = field(default_factory=dict)
+    #: Optional coordinator router: transaction → TM index.  ``None``
+    #: keeps round-robin assignment; multi-region runs pass
+    #: ``cluster.tm_index_for`` so each transaction is coordinated by its
+    #: home shard's TM (see docs/scale.md).
+    tm_for: Optional[Callable[[Transaction], int]] = None
+    #: Optional per-outcome hook, invoked synchronously (in simulation
+    #: time) as each transaction finishes — the place for streaming
+    #: accounting at scale (e.g. the stale-commit tracker) that must not
+    #: retain per-transaction state until the end of the run.
+    on_outcome: Optional[Callable[[TransactionOutcome], None]] = None
     #: Set by :meth:`run` when ``CloudConfig.verify_traces`` is on — the
     #: :class:`repro.verify.report.VerificationReport` of the finished run.
     verification_report: Optional[object] = None
@@ -66,7 +76,10 @@ class OpenLoopRunner:
                 delay = arrival - self.cluster.env.now
                 if delay > 0:
                     yield self.cluster.env.timeout(delay)
-                tm = self.cluster.tms[index % len(self.cluster.tms)]
+                if self.tm_for is not None:
+                    tm = self.cluster.tms[self.tm_for(txn)]
+                else:
+                    tm = self.cluster.tms[index % len(self.cluster.tms)]
                 self.assignments[txn.txn_id] = tm.name
                 process = tm.submit(txn, self.approach, self.consistency)
                 process.add_callback(self._collect)
@@ -88,6 +101,8 @@ class OpenLoopRunner:
     def _collect(self, event: Event) -> None:
         if event.exception is None:
             self.outcomes.append(event.value)
+            if self.on_outcome is not None:
+                self.on_outcome(event.value)
 
     # -- summaries ---------------------------------------------------------------
 

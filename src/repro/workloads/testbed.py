@@ -20,6 +20,7 @@ from repro.cloud.config import CloudConfig
 from repro.cloud.master import MasterVersionService
 from repro.cloud.replication import PolicyReplicator, bootstrap_policies
 from repro.cloud.server import CloudServer
+from repro.cloud.sharding import ShardMap, plan_shards, standby_region
 from repro.core.approaches import ProofApproach, get_approach
 from repro.core.consistency import ConsistencyLevel
 from repro.db.items import ItemCatalog
@@ -36,6 +37,12 @@ from repro.sim.kernel import Environment
 from repro.sim.network import Network
 from repro.sim.process import Process
 from repro.sim.rng import RandomStreams
+from repro.sim.topology import (
+    DEFAULT_REGIONS,
+    RegionalLatency,
+    RegionTopology,
+    default_wan_topology,
+)
 from repro.sim.tracing import Tracer
 from repro.transactions.manager import TransactionManager
 from repro.transactions.transaction import Transaction
@@ -82,6 +89,10 @@ class Cluster:
     admins: Dict[str, PolicyAdministrator]
     #: The CA issuing user credentials in helper methods.
     users_ca: CertificateAuthority
+    #: Multi-datacenter layout (region runs only; see docs/scale.md).
+    topology: Optional[RegionTopology] = None
+    #: Keyspace shard map (multi-region clusters only).
+    shards: Optional[ShardMap] = None
 
     # -- lookups ---------------------------------------------------------------
 
@@ -98,6 +109,26 @@ class Cluster:
 
     def admin(self, name: str) -> PolicyAdministrator:
         return self.admins[name]
+
+    def region_of(self, node: str) -> Optional[str]:
+        """The region a node is placed in (None on non-topology runs)."""
+        return self.topology.region_of(node) if self.topology is not None else None
+
+    def tm_index_for(self, txn: Transaction) -> int:
+        """The per-shard coordinator for a transaction's *first* item.
+
+        Multi-region clusters give every shard its own coordinator; a
+        transaction is coordinated by the shard of its first query's first
+        item (its *home shard* — the scale workload generator puts the
+        home-region query first).  Falls back to TM 0 when the cluster has
+        no shard map.
+        """
+        if self.shards is None:
+            return 0
+        for query in txn.queries:
+            for item in query.items:
+                return self.shards.tm_index_for(item)
+        return 0
 
     # -- credentials --------------------------------------------------------------
 
@@ -191,6 +222,8 @@ class ServerSpec:
     items: Mapping[str, Any]
     #: administrative domain governing the items.
     admin: str
+    #: Region the server is pinned to (topology runs only).
+    region: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -209,25 +242,42 @@ def assemble_cluster(
     config: Optional[CloudConfig] = None,
     n_tms: int = 1,
     trace: bool = True,
+    tm_names: Optional[Sequence[str]] = None,
+    tm_regions: Optional[Sequence[Optional[str]]] = None,
 ) -> Cluster:
     """Wire an arbitrary topology: servers, domains, TMs, and services.
 
     Every domain's version-1 policy is installed on every server before
     time zero (globally consistent start); later publications go through
     :meth:`Cluster.publish` with random or engineered delays.
+
+    When ``config.topology`` is set the cluster becomes region-aware:
+    message delays come from a :class:`repro.sim.topology.RegionalLatency`
+    built over the topology (``config.latency`` is ignored), every server
+    is placed in its spec's region, the master version service / policy
+    replicator / OCSP responder are pinned to ``config.master_region``,
+    and TMs follow ``tm_regions``.  ``tm_names`` overrides the default
+    ``tm1..tmN`` naming (and implies the TM count) so multi-region builds
+    can name coordinators after their shards.
     """
     if not server_specs:
         raise SimulationError("need at least one server")
     config = config or CloudConfig()
+    topology = config.topology
+    latency: Any = config.latency
+    if topology is not None:
+        latency = RegionalLatency(topology, model_transfer_time=config.model_transfer_time)
     rng = RandomStreams(seed)
     env = Environment()
     metrics = Metrics()
+    if topology is not None:
+        metrics.regions.configure(topology)
     tracer = Tracer(enabled=trace)
     obs = SpanRecorder(enabled=config.obs_spans, sample_rate=config.obs_sample_rate)
     network = Network(
         env,
         rng=rng.stream("network"),
-        latency=config.latency,
+        latency=latency,
         tracer=tracer,
         message_hook=metrics,
         spans=obs,
@@ -251,6 +301,8 @@ def assemble_cluster(
         catalog.assign_all(spec.items, spec.name)
         network.register(server)
         servers[spec.name] = server
+        if topology is not None and spec.region is not None:
+            topology.place(spec.name, spec.region)
 
     master = MasterVersionService(config.master_name, obs=obs)
     network.register(master)
@@ -258,6 +310,13 @@ def assemble_cluster(
         "replicator", rng.stream("replication"), config.replication_delay
     )
     network.register(replicator)
+    if topology is not None:
+        # Pin the authoritative policy services — the master version
+        # service and the replicator feeding it — to the master region.
+        master_region = config.master_region or topology.default_region
+        topology.place(master.name, master_region)
+        topology.place(replicator.name, master_region)
+        topology.place(config.ocsp_responder, master_region)
 
     admins: Dict[str, PolicyAdministrator] = {}
     for domain in domain_specs:
@@ -269,11 +328,22 @@ def assemble_cluster(
     ocsp = OCSPResponder(config.ocsp_responder, registry)
     network.register(ocsp)
 
+    if tm_names is not None:
+        names = list(tm_names)
+    else:
+        names = [f"tm{index}" for index in range(1, n_tms + 1)]
     tms = []
-    for index in range(1, n_tms + 1):
-        tm = TransactionManager(f"tm{index}", config, catalog, metrics, tracer, obs=obs)
+    for position, name in enumerate(names):
+        tm = TransactionManager(name, config, catalog, metrics, tracer, obs=obs)
         network.register(tm)
         tms.append(tm)
+        if (
+            topology is not None
+            and tm_regions is not None
+            and position < len(tm_regions)
+            and tm_regions[position] is not None
+        ):
+            topology.place(name, tm_regions[position])  # type: ignore[arg-type]
 
     return Cluster(
         env=env,
@@ -292,6 +362,7 @@ def assemble_cluster(
         ocsp=ocsp,
         admins=admins,
         users_ca=users_ca,
+        topology=topology,
     )
 
 
@@ -330,3 +401,81 @@ def build_cluster(
         n_tms=n_tms,
         trace=trace,
     )
+
+
+def build_multiregion_cluster(
+    regions: Sequence[str] = DEFAULT_REGIONS,
+    shards_per_region: int = 2,
+    items_per_shard: int = 16,
+    replication_factor: int = 2,
+    seed: int = 0,
+    config: Optional[CloudConfig] = None,
+    master_region: Optional[str] = None,
+    initial_value: float = 100.0,
+    trace: bool = True,
+) -> Cluster:
+    """Construct the planet-scale testbed: regions × shards × replica groups.
+
+    The keyspace is split into ``len(regions) · shards_per_region`` shards
+    (see :func:`repro.cloud.sharding.plan_shards`).  Each shard gets
+
+    * a **primary** cloud server in its home region hosting its items,
+    * ``replication_factor − 1`` **standby** servers placed round-robin
+      across the other regions (policy replicas; they host no data items),
+    * a dedicated **coordinator** TM pinned to the home region, and
+    * membership in its region's administrative domain ``app-<region>``
+      (one policy domain per region, so policy storms are regional).
+
+    The master version service, the replicator, and the OCSP responder
+    are pinned to ``master_region`` (first region by default), which is
+    what makes commits from other regions pay WAN round trips on every
+    master-version fetch.  The resulting :class:`Cluster` carries its
+    :class:`~repro.sim.topology.RegionTopology` and
+    :class:`~repro.cloud.sharding.ShardMap`; everything else — metrics,
+    tracing, spans, ``Cluster.verify()`` — works exactly as on
+    single-datacenter clusters.
+    """
+    regions = tuple(regions)
+    base = config or CloudConfig()
+    topology = base.topology or default_wan_topology(regions)
+    pinned = master_region or base.master_region or topology.default_region
+    # Copy rather than mutate: the caller's config object stays untouched.
+    config = CloudConfig(**{**base.__dict__, "topology": topology, "master_region": pinned})
+
+    shard_specs = plan_shards(
+        regions, shards_per_region, items_per_shard, replication_factor=replication_factor
+    )
+    server_specs: List[ServerSpec] = []
+    items_by_region: Dict[str, List[str]] = {region: [] for region in regions}
+    for shard in shard_specs:
+        values = {item: initial_value for item in shard.items}
+        server_specs.append(ServerSpec(shard.primary, values, shard.admin, shard.region))
+        items_by_region[shard.region].extend(shard.items)
+        for index, replica in enumerate(shard.replicas):
+            server_specs.append(
+                ServerSpec(
+                    replica,
+                    {},
+                    shard.admin,
+                    standby_region(shard.region, regions, index),
+                )
+            )
+    domain_specs = [
+        DomainSpec(
+            f"app-{region}",
+            member_policy_rules(items_by_region[region]),
+            f"initial member policy ({region})",
+        )
+        for region in regions
+    ]
+    cluster = assemble_cluster(
+        server_specs,
+        domain_specs,
+        seed=seed,
+        config=config,
+        trace=trace,
+        tm_names=[shard.coordinator for shard in shard_specs],
+        tm_regions=[shard.region for shard in shard_specs],
+    )
+    cluster.shards = ShardMap(shard_specs)
+    return cluster
