@@ -11,9 +11,17 @@ Measures the two innermost loops of the codebase on the **host** clock
 * **kernel events/sec** — a self-rescheduling timeout callback chain and a
   generator-process timeout loop, the two dominant event shapes of every
   simulated run;
+* **kernel queue grid** — the calendar queue against the pinned heap
+  reference (same code, ``queue="heap"``) on the two shapes that dominate
+  large runs: a timer-storm *drain* and a network *fan-out under an
+  expiring timer backlog* (10^5-user scale runs hold ~10^6 pending request
+  timeouts that expire throughout).  Reported against numbers recorded on
+  the pre-calendar kernel; ``--min-kernel-speedup`` turns the
+  calendar-vs-heap geomean into a CI gate;
 * **end-to-end equivalence** — bit-identical ``TransactionOutcome``
   sequences between the engines for all four enforcement approaches at
-  both consistency levels.
+  both consistency levels, and between the heap and calendar queues
+  (promotion forced) across the same grid.
 
 Writes ``BENCH_engine.json`` (repo root by default) — the source of the
 engine table in ``docs/performance.md``.  Run:
@@ -30,7 +38,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import pathlib
+import random
 import sys
 import time
 from typing import Dict, List, Tuple
@@ -41,6 +51,7 @@ from repro.policy import proofs as proofs_mod
 from repro.policy.proofs import evaluate_proof
 from repro.policy.rules_reference import naive_view
 from repro.sim.kernel import Environment
+from repro.sim.network import FixedLatency, Network, Node
 from repro.workloads.generator import WorkloadSpec, uniform_transactions
 from repro.workloads.testbed import build_cluster
 
@@ -54,6 +65,17 @@ BEFORE = {
     "proof_throughput_per_s": 7066,
     "kernel_timeout_chain_per_s": 760635,
     "kernel_process_loop_per_s": 441826,
+}
+
+#: Queue-grid numbers recorded on the pre-calendar kernel (commit 8ae1e5a:
+#: single global heap, no event pooling, no same-timestamp network
+#: batching), with exactly the shapes and seeds below.  ``drain`` is
+#: events/sec, ``fanout_backlog`` is delivered messages/sec.
+BEFORE_QUEUE = {
+    "drain_1m": 270745,
+    "drain_2m": 218860,
+    "fanout_backlog_1m": 44087,
+    "fanout_backlog_2m": 24385,
 }
 
 LEVELS = (ConsistencyLevel.VIEW, ConsistencyLevel.GLOBAL)
@@ -71,7 +93,8 @@ def record_continuous_calls(quick: bool) -> List[Tuple]:
     original = proofs_mod.evaluate_proof
 
     def recording(policy, query_id, user, operation, items, credentials,
-                  server, now, registry, revocation=None, counters=None):
+                  server, now, registry, revocation=None, counters=None,
+                  obs_span=None):
         calls.append(
             (policy, user, operation, tuple(items), tuple(credentials), registry)
         )
@@ -218,6 +241,128 @@ def measure_kernel(quick: bool, repeats: int) -> Dict[str, object]:
     }
 
 
+# -- kernel queue grid --------------------------------------------------------
+
+
+def _queue_env(queue: str) -> Environment:
+    # Pooling stays on for both sides so the comparison isolates the queue
+    # structure itself, not the allocator.
+    return Environment(queue=queue, pooling=True)
+
+
+def kernel_drain(n_timeouts: int, queue: str) -> float:
+    """Events/sec draining a pre-filled uniform timer storm.
+
+    The shape of a scale run's tail: the queue holds one pending request
+    timeout per in-flight message, and they all expire.  Fill time is
+    excluded; only the drain is timed.
+    """
+    env = _queue_env(queue)
+    rng = random.Random(11)
+    for _ in range(n_timeouts):
+        env.timeout(rng.uniform(0.0, 1000.0))
+    start = time.perf_counter()
+    env.run()
+    return n_timeouts / (time.perf_counter() - start)
+
+
+def kernel_fanout_backlog(
+    backlog: int, queue: str, fanout: int = 50, rounds: float = 3000.0
+) -> float:
+    """Delivered messages/sec for a periodic fan-out under an expiring
+    timer backlog.
+
+    The shape of a 10^5-user steady state: a driver fans out to ``fanout``
+    sinks once per simulated time unit (unit network latency, so
+    deliveries share timestamps and batch) while ``backlog`` noop timers —
+    stand-ins for pending request timeouts — expire throughout the run.
+    Warm-up to t=5 is excluded; the window is ``rounds`` time units.
+    """
+    env = _queue_env(queue)
+    net = Network(env, rng=random.Random(3), latency=FixedLatency(1.0))
+    counter = {"msgs": 0}
+
+    class Sink(Node):
+        def handle_message(self, message):
+            counter["msgs"] += 1
+            return None
+
+    driver = net.register(Sink("driver"))
+    sinks = [net.register(Sink(f"s{i}")) for i in range(fanout)]
+    rng = random.Random(9)
+
+    def noop(event):
+        pass
+
+    for _ in range(backlog):
+        env.timeout(100.0 + rng.random() * 5000.0).add_callback(noop)
+
+    def tick(event):
+        for sink in sinks:
+            driver.send(sink.name, "ping", "proto", x=1)
+        env.timeout(1.0).add_callback(tick)
+
+    env.timeout(0.0).add_callback(tick)
+    env.run(until=5.0)
+    counter["msgs"] = 0
+    start = time.perf_counter()
+    env.run(until=5.0 + rounds)
+    return counter["msgs"] / (time.perf_counter() - start)
+
+
+def measure_kernel_queue(quick: bool, repeats: int) -> Dict[str, object]:
+    if quick:
+        shapes: List[Tuple[str, object]] = [
+            ("drain_300k", lambda queue: kernel_drain(300_000, queue)),
+            (
+                "fanout_backlog_500k",
+                lambda queue: kernel_fanout_backlog(500_000, queue, rounds=900.0),
+            ),
+        ]
+    else:
+        shapes = [
+            ("drain_1m", lambda queue: kernel_drain(1_000_000, queue)),
+            ("drain_2m", lambda queue: kernel_drain(2_000_000, queue)),
+            (
+                "fanout_backlog_1m",
+                lambda queue: kernel_fanout_backlog(1_000_000, queue),
+            ),
+            (
+                "fanout_backlog_2m",
+                lambda queue: kernel_fanout_backlog(2_000_000, queue),
+            ),
+        ]
+    cells: Dict[str, Dict[str, object]] = {}
+    heap_ratios: List[float] = []
+    before_ratios: List[float] = []
+    for name, run in shapes:
+        calendar = max(run("calendar") for _ in range(repeats))
+        heap = max(run("heap") for _ in range(repeats))
+        cell: Dict[str, object] = {
+            "calendar_per_s": round(calendar),
+            "heap_per_s": round(heap),
+            "speedup_vs_heap": round(calendar / heap, 3),
+        }
+        heap_ratios.append(calendar / heap)
+        before = BEFORE_QUEUE.get(name)
+        if before is not None:
+            cell["before_per_s"] = before
+            cell["speedup_vs_before"] = round(calendar / before, 3)
+            before_ratios.append(calendar / before)
+        cells[name] = cell
+
+    def geomean(ratios: List[float]) -> float:
+        return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+    report: Dict[str, object] = {
+        "shapes": cells,
+        "geomean_speedup_vs_heap": round(geomean(heap_ratios), 3),
+    }
+    if before_ratios:
+        report["geomean_speedup_vs_before"] = round(geomean(before_ratios), 3)
+    return report
+
+
 # -- end-to-end equivalence ---------------------------------------------------
 
 
@@ -242,6 +387,40 @@ def measure_outcome_equivalence(quick: bool) -> Dict[str, object]:
             indexed = run_point(point("indexed")).outcomes
             naive = run_point(point("naive")).outcomes
             checks[f"{approach}/{level.value}"] = indexed == naive
+    return {
+        "cells": checks,
+        "all_identical": all(checks.values()),
+    }
+
+
+def measure_queue_equivalence(quick: bool) -> Dict[str, object]:
+    """Heap vs calendar outcome sequences, all approaches × both levels.
+
+    ``kernel_promote_at=0`` forces the calendar side onto its bucketed path
+    from the first event, so the check covers the promoted structure rather
+    than the small-queue heap fallback.
+    """
+    n_txns = 4 if quick else 8
+    checks: Dict[str, bool] = {}
+    for approach in APPROACHES:
+        for level in LEVELS:
+            def point(overrides):
+                return SweepPoint(
+                    approach=approach,
+                    consistency=level,
+                    n_servers=4,
+                    txn_length=4,
+                    n_transactions=n_txns,
+                    update_interval=None,
+                    seed=61,
+                    config_overrides=overrides,
+                )
+
+            heap = run_point(point({"kernel_queue": "heap"})).outcomes
+            calendar = run_point(
+                point({"kernel_queue": "calendar", "kernel_promote_at": 0})
+            ).outcomes
+            checks[f"{approach}/{level.value}"] = heap == calendar
     return {
         "cells": checks,
         "all_identical": all(checks.values()),
@@ -290,6 +469,13 @@ def main(argv=None) -> int:
         default=None,
         help="committed BENCH_engine.json to gate speedup ratios against",
     )
+    parser.add_argument(
+        "--min-kernel-speedup",
+        type=float,
+        metavar="RATIO",
+        default=None,
+        help="fail when the queue grid's calendar-vs-heap geomean drops below RATIO",
+    )
     args = parser.parse_args(argv)
     repeats = args.repeats if args.repeats is not None else (2 if args.quick else 3)
 
@@ -298,11 +484,14 @@ def main(argv=None) -> int:
         "quick": bool(args.quick),
         "proof_throughput": measure_proof_throughput(args.quick, repeats),
         "kernel": measure_kernel(args.quick, repeats),
+        "kernel_queue": measure_kernel_queue(args.quick, repeats),
         "outcome_equivalence": measure_outcome_equivalence(args.quick),
+        "queue_equivalence": measure_queue_equivalence(args.quick),
     }
     ok = (
         report["proof_throughput"]["verdict_or_witness_mismatches"] == 0
         and report["outcome_equivalence"]["all_identical"]
+        and report["queue_equivalence"]["all_identical"]
     )
     report["all_equivalence_checks_passed"] = ok
 
@@ -314,6 +503,18 @@ def main(argv=None) -> int:
     if not ok:
         print("EQUIVALENCE CHECK FAILED", file=sys.stderr)
         return 1
+    if args.min_kernel_speedup is not None:
+        geomean = report["kernel_queue"]["geomean_speedup_vs_heap"]
+        if geomean < args.min_kernel_speedup:
+            print(
+                f"KERNEL QUEUE REGRESSION: geomean calendar-vs-heap speedup "
+                f"{geomean} < required {args.min_kernel_speedup}",
+                file=sys.stderr,
+            )
+            return 3
+        print(
+            f"kernel queue gate passed: {geomean}x >= {args.min_kernel_speedup}x"
+        )
     if args.check_baseline:
         failures = check_baseline(report, pathlib.Path(args.check_baseline))
         if failures:

@@ -1,11 +1,12 @@
 """Table I at planet scale: sharded multi-region runs of every approach.
 
 The paper's evaluation (Section VI) replays tens of transactions against a
-single data center.  This bench replays **tens of thousands** against the
-multi-region testbed — 3 regions x N shards, each shard a replica group
-with a region-pinned coordinator, the policy master pinned to one region —
-and reports how the four enforcement approaches diverge when a
-transaction's coordinator sits an ocean away from the policy master:
+single data center.  This bench replays **tens of thousands to hundreds of
+thousands** against the multi-region testbed — 3 regions x N shards, each
+shard a replica group with a region-pinned coordinator, the policy master
+pinned to one region — and reports how the four enforcement approaches
+diverge when a transaction's coordinator sits an ocean away from the
+policy master:
 
 * **cross-region commit latency** — mean commit latency split by whether
   the coordinating TM shares a region with the master (every master
@@ -18,16 +19,28 @@ transaction's coordinator sits an ocean away from the policy master:
   online by :class:`repro.analysis.scale.StaleCommitTracker`.
 
 Per-region policy-update storms run throughout, so replication lag is
-real.  Every run must pass ``repro.verify`` with zero violations — a
-violation is a correctness failure, not a benchmark result, and exits
-non-zero.
+real.
 
-Writes ``BENCH_SCALE.json`` (repo root by default).  Run:
+Runs are **streaming end to end** (``CloudConfig.streaming_metrics``): the
+workload is generated lazily, outcomes fold into online aggregators, and
+per-transaction state (metrics attribution, coordinator contexts, WAL
+tails) is evicted as transactions finish — peak memory is bounded by
+in-flight work, which is what makes 10^5-user runs routine.  Runs small
+enough to keep a trace (``--verify-max-users``, default 20 000) must pass
+``repro.verify`` with zero violations — a violation is a correctness
+failure, not a benchmark result, and exits non-zero; larger runs disable
+tracing (the trace alone would dwarf the simulation) and report
+``verify_violations: null``.
+
+Writes ``BENCH_SCALE.json`` (repo root by default) and
+``benchmarks/results/scale.txt``.  Run:
 
     PYTHONPATH=src python benchmarks/bench_scale.py [--quick] [--out PATH]
 
-The full run (10^4 users, 6 shards, both consistency levels) takes a few
-minutes; ``--quick`` is the CI smoke size.
+``--users`` and ``--shards-per-region`` accept comma-separated sweeps
+(e.g. ``--users 10000,100000``); ``--approaches`` restricts the matrix.
+The default full run (10^4 users, 6 shards, both consistency levels)
+takes a few minutes; ``--quick`` is the CI smoke size.
 """
 
 from __future__ import annotations
@@ -43,16 +56,16 @@ from typing import Any, Dict, List, Optional
 from repro.analysis.scale import (
     ScaleRunResult,
     StaleCommitTracker,
-    split_by_master_locality,
+    StreamingLocalitySplit,
 )
 from repro.cloud.config import CloudConfig
 from repro.core.consistency import ConsistencyLevel
-from repro.metrics.stats import aggregate
+from repro.metrics.timeline import StreamingPhaseBreakdown
 from repro.workloads.runner import OpenLoopRunner
 from repro.workloads.scale import (
     PolicyStormProcess,
     ScaleWorkloadSpec,
-    generate_scale_workload,
+    iter_scale_workload,
     mint_user_credentials,
     storm_schedule,
 )
@@ -64,6 +77,9 @@ SEED = 83
 #: Per-region storms per run scales with the horizon: one storm roughly
 #: every ``horizon / STORMS_PER_REGION`` time units.
 STORMS_PER_REGION = 6
+#: Above this user count, tracing (and the conformance pass) is disabled:
+#: a retained trace grows linearly with the run and would dominate memory.
+DEFAULT_VERIFY_MAX_USERS = 20_000
 
 
 def run_one(
@@ -73,15 +89,21 @@ def run_one(
     shards_per_region: int,
     items_per_shard: int,
     arrival_rate: float,
+    verify: bool = True,
 ) -> ScaleRunResult:
     """One fresh cluster + identical seeded workload for one cell."""
-    config = CloudConfig(request_timeout=3000.0)
+    config = CloudConfig(
+        request_timeout=3000.0,
+        obs_spans=False,
+        streaming_metrics=True,
+    )
     cluster = build_multiregion_cluster(
         shards_per_region=shards_per_region,
         items_per_shard=items_per_shard,
         replication_factor=2,
         seed=SEED,
         config=config,
+        trace=verify,
     )
     spec = ScaleWorkloadSpec(
         n_users=n_users,
@@ -92,10 +114,12 @@ def run_one(
         locality=0.9,
     )
     credentials = mint_user_credentials(cluster, spec.n_users)
-    schedule = generate_scale_workload(
+    schedule = iter_scale_workload(
         spec, cluster.shards, random.Random(SEED + 1), credentials
     )
-    horizon = schedule[-1].arrival
+    # Expected last arrival — the lazy schedule's exact horizon isn't known
+    # until it is drained, and storms only need the right order of magnitude.
+    horizon = spec.n_users * spec.txns_per_user / spec.arrival_rate
     storms = storm_schedule(
         list(cluster.shards.regions),
         random.Random(SEED + 2),
@@ -108,34 +132,44 @@ def run_one(
     storm_process = PolicyStormProcess(cluster, storms)
     storm_process.start()
 
+    runner = OpenLoopRunner(cluster, approach, consistency)
     tracker = StaleCommitTracker(cluster)
-    runner = OpenLoopRunner(
-        cluster,
-        approach,
-        consistency,
-        tm_for=cluster.tm_index_for,
-        on_outcome=tracker.observe,
-    )
-    outcomes = runner.run(
-        [entry.txn for entry in schedule], [entry.arrival for entry in schedule]
-    )
-    overall = aggregate(outcomes)
-    locality = split_by_master_locality(outcomes, runner.assignments, cluster)
-    report = cluster.verify()
+    locality = StreamingLocalitySplit(cluster, runner.assignments)
+    phases = StreamingPhaseBreakdown()
+
+    def on_outcome(outcome: Any) -> None:
+        locality.observe(outcome)
+        phases.observe(outcome)
+        tracker.observe(outcome)  # pops the coordinator's finished context
+
+    runner.on_outcome = on_outcome
+    runner.run_scheduled(schedule)
+
+    report = cluster.verify() if verify else None
     return ScaleRunResult(
         approach=approach,
         consistency=consistency.name.lower(),
-        overall=overall,
-        locality=locality,
+        overall=runner.stream.aggregate(),
+        locality=locality.split(),
         stale_commits=tracker.stale_commits,
         stale_rate=tracker.stale_rate,
         cross_region_messages=cluster.metrics.regions.cross_region,
         intra_region_messages=cluster.metrics.regions.intra_region,
         cross_region_bytes=cluster.metrics.regions.cross_region_bytes(),
-        verify_violations=len(report.violations),
+        verify_violations=len(report.violations) if report is not None else None,
         storm_publications=storm_process.published,
-        extra={"throughput": round(runner.throughput(), 4)},
+        extra={
+            "n_users": n_users,
+            "shards_per_region": shards_per_region,
+            "throughput": round(runner.throughput(), 4),
+            "mean_execution_time": round(phases.mean_execution_time, 2),
+            "mean_commit_phase_time": round(phases.mean_commit_phase_time, 2),
+        },
     )
+
+
+def _int_list(raw: str) -> List[int]:
+    return [int(part) for part in raw.split(",") if part.strip()]
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -146,45 +180,78 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=str(pathlib.Path(__file__).resolve().parent.parent / "BENCH_SCALE.json"),
         help="where to write the JSON report",
     )
-    parser.add_argument("--users", type=int, default=None, help="simulated users per run")
     parser.add_argument(
-        "--shards-per-region", type=int, default=2, help="shards homed in each region"
+        "--users",
+        type=_int_list,
+        default=None,
+        help="simulated users per run; comma-separated values sweep "
+        "(e.g. 10000,100000)",
+    )
+    parser.add_argument(
+        "--shards-per-region",
+        type=_int_list,
+        default=[2],
+        help="shards homed in each region; comma-separated values sweep",
     )
     parser.add_argument(
         "--arrival-rate", type=float, default=0.4, help="user arrivals per time unit"
     )
+    parser.add_argument(
+        "--approaches",
+        default=",".join(APPROACHES),
+        help="comma-separated subset of approaches to run",
+    )
+    parser.add_argument(
+        "--verify-max-users",
+        type=int,
+        default=DEFAULT_VERIFY_MAX_USERS,
+        help="disable tracing + conformance above this user count",
+    )
     args = parser.parse_args(argv)
-    n_users = args.users if args.users is not None else (300 if args.quick else 10_000)
+    users_sweep = args.users if args.users else ([300] if args.quick else [10_000])
     items_per_shard = 32 if args.quick else 64
+    approaches = [name.strip() for name in args.approaches.split(",") if name.strip()]
+    unknown = [name for name in approaches if name not in APPROACHES]
+    if unknown:
+        parser.error(f"unknown approaches: {', '.join(unknown)}")
 
     results: List[ScaleRunResult] = []
     wall: Dict[str, float] = {}
-    for approach in APPROACHES:
-        for level in (ConsistencyLevel.VIEW, ConsistencyLevel.GLOBAL):
-            start = time.perf_counter()
-            result = run_one(
-                approach,
-                level,
-                n_users=n_users,
-                shards_per_region=args.shards_per_region,
-                items_per_shard=items_per_shard,
-                arrival_rate=args.arrival_rate,
-            )
-            wall[f"{approach}/{result.consistency}"] = round(
-                time.perf_counter() - start, 2
-            )
-            results.append(result)
-            print(
-                f"{approach:12s} {result.consistency:6s} "
-                f"commits={result.overall.commits}/{result.overall.count} "
-                f"stale={result.stale_commits} "
-                f"gap={result.locality.commit_latency_gap:+.1f} "
-                f"violations={result.verify_violations}"
-            )
+    for n_users in users_sweep:
+        for shards_per_region in args.shards_per_region:
+            verify = n_users <= args.verify_max_users
+            for approach in approaches:
+                for level in (ConsistencyLevel.VIEW, ConsistencyLevel.GLOBAL):
+                    start = time.perf_counter()
+                    result = run_one(
+                        approach,
+                        level,
+                        n_users=n_users,
+                        shards_per_region=shards_per_region,
+                        items_per_shard=items_per_shard,
+                        arrival_rate=args.arrival_rate,
+                        verify=verify,
+                    )
+                    key = f"{approach}/{result.consistency}/u{n_users}/s{shards_per_region}"
+                    wall[key] = round(time.perf_counter() - start, 2)
+                    results.append(result)
+                    violations = (
+                        str(result.verify_violations)
+                        if result.verify_violations is not None
+                        else "skipped"
+                    )
+                    print(
+                        f"{approach:12s} {result.consistency:6s} users={n_users} "
+                        f"commits={result.overall.commits}/{result.overall.count} "
+                        f"stale={result.stale_commits} "
+                        f"gap={result.locality.commit_latency_gap:+.1f} "
+                        f"violations={violations} wall={wall[key]:.1f}s"
+                    )
 
     emit_table(
         "scale",
         [
+            "users",
             "approach",
             "consistency",
             "commit %",
@@ -193,9 +260,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             "remote lat",
             "gap",
             "abort %",
+            "tput",
         ],
         [
             [
+                str(int(r.extra["n_users"])),
                 r.approach,
                 r.consistency,
                 f"{100 * (1 - r.overall.abort_rate):.1f}",
@@ -204,31 +273,35 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"{r.locality.remote.mean_commit_latency:.0f}",
                 f"{r.locality.commit_latency_gap:+.0f}",
                 f"{100 * r.overall.abort_rate:.1f}",
+                f"{r.extra['throughput']:.3f}",
             ]
             for r in results
         ],
-        title=f"Table I at scale: {n_users} users, 3 regions x "
-        f"{args.shards_per_region} shards, replica groups of 2",
+        title=f"Table I at scale: {'/'.join(str(u) for u in users_sweep)} users, "
+        f"3 regions x {'/'.join(str(s) for s in args.shards_per_region)} shards, "
+        "replica groups of 2",
         notes=[
             "local/remote lat: mean commit latency by coordinator-vs-master region",
             "stale %: commits whose proof version was superseded by decision time",
+            "streaming metrics: outcomes aggregated online, O(in-flight) memory",
         ],
     )
 
-    clean = all(r.verify_violations == 0 for r in results)
+    clean = all(
+        r.verify_violations == 0 for r in results if r.verify_violations is not None
+    )
     report: Dict[str, Any] = {
         "bench": "scale",
         "quick": bool(args.quick),
         "topology": {
             "regions": 3,
             "shards_per_region": args.shards_per_region,
-            "shards": 3 * args.shards_per_region,
             "replication_factor": 2,
             "items_per_shard": items_per_shard,
             "master_region": "us-east",
         },
         "workload": {
-            "n_users": n_users,
+            "n_users": users_sweep,
             "arrival_rate": args.arrival_rate,
             "txn_length": 2,
             "read_fraction": 0.85,
@@ -236,6 +309,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "locality": 0.9,
             "storms_per_region": STORMS_PER_REGION,
             "seed": SEED,
+            "streaming_metrics": True,
         },
         "rows": [r.row() for r in results],
         "wall_seconds": wall,

@@ -18,10 +18,19 @@ while keeping the three guarantees the benches rely on:
 
 Worker processes are not free: each one pays interpreter start-up and a
 full ``repro`` import before it simulates anything, a few hundred
-milliseconds that dwarf a small grid.  :func:`run_sweep` therefore gates
-on a deterministic cost estimate (:func:`estimate_point_cost`) and runs
-grids below :func:`min_parallel_cost` in-process — see
-``docs/performance.md`` for the calibration.
+milliseconds that dwarf a small grid.  Two mitigations:
+
+* :func:`run_sweep` gates on a deterministic cost estimate
+  (:func:`estimate_point_cost`) and runs grids below
+  :func:`min_parallel_cost` in-process — see ``docs/performance.md`` for
+  the calibration;
+* grids that do fan out reuse one **persistent pool** (:func:`get_pool`)
+  across calls, so a bench sweeping several grids pays worker start-up
+  once, and items are submitted in **contiguous chunks**
+  (``CHUNKS_PER_WORKER`` per worker) instead of one future per point,
+  amortizing pickling/IPC while still load-balancing stragglers.  The
+  pool is torn down at interpreter exit (or explicitly via
+  :func:`shutdown_pool`).
 
 ``REPRO_SWEEP_WORKERS`` (environment) overrides the default worker count;
 ``REPRO_SWEEP_SERIAL=1`` forces serial execution everywhere, which CI can
@@ -31,6 +40,7 @@ serial-fallback threshold (``0`` disables the gate).
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import os
 import pickle
@@ -43,6 +53,11 @@ from repro.analysis.sweep import SweepPoint, SweepResult, run_point
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
+
+#: Chunks submitted per worker: >1 so an unlucky worker holding the
+#: slowest points can be back-filled, small enough that per-chunk
+#: pickling/IPC stays negligible next to per-point submission.
+CHUNKS_PER_WORKER = 4
 
 #: Environment knob: cap/override the worker-process count.
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
@@ -147,6 +162,71 @@ def default_workers(n_items: int) -> int:
     return max(1, min(n_items, os.cpu_count() or 1))
 
 
+# -- persistent pool -----------------------------------------------------------
+
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_workers = 0
+
+
+def get_pool(workers: int) -> ProcessPoolExecutor:
+    """The shared worker pool, (re)built so it has at least ``workers``.
+
+    Reused across :func:`parallel_map` / :func:`run_sweep` calls so a bench
+    running several grids pays interpreter start-up + ``repro`` import once
+    per worker, not once per grid.  A request for more workers than the
+    current pool holds rebuilds it (worker counts only ever grow within a
+    process, and are capped by :func:`default_workers` at the CPU count).
+    """
+    global _pool, _pool_workers
+    if _pool is not None and _pool_workers >= workers:
+        return _pool
+    if _pool is not None:
+        _pool.shutdown(wait=False, cancel_futures=True)
+    _pool = ProcessPoolExecutor(max_workers=workers)
+    _pool_workers = workers
+    return _pool
+
+
+def shutdown_pool(wait: bool = True) -> None:
+    """Tear down the persistent pool (idempotent; re-created on next use)."""
+    global _pool, _pool_workers
+    if _pool is not None:
+        _pool.shutdown(wait=wait, cancel_futures=True)
+        _pool = None
+        _pool_workers = 0
+
+
+atexit.register(shutdown_pool)
+
+
+def _chunked(items: Sequence[ItemT], n_chunks: int) -> List[Sequence[ItemT]]:
+    """Split into up to ``n_chunks`` contiguous, order-preserving slices."""
+    n_chunks = max(1, min(n_chunks, len(items)))
+    size, extra = divmod(len(items), n_chunks)
+    chunks: List[Sequence[ItemT]] = []
+    start = 0
+    for index in range(n_chunks):
+        end = start + size + (1 if index < extra else 0)
+        chunks.append(items[start:end])
+        start = end
+    return chunks
+
+
+def _apply_chunk(payload: bytes) -> List:
+    """Worker-side: unpickle one contiguous chunk and apply its function.
+
+    Payloads are pickled *by the caller* (see :func:`parallel_map`) so the
+    executor's call queue only ever carries ``bytes``.  Feeding an
+    unpicklable object to the queue kills its feeder thread mid-flight,
+    after which workers never receive their shutdown sentinels and
+    interpreter exit blocks forever on the management-thread join —
+    pre-pickling turns that hang into an ordinary, catchable exception in
+    the submitting process.
+    """
+    fn, chunk = pickle.loads(payload)
+    return [fn(item) for item in chunk]
+
+
 def parallel_map(
     fn: Callable[[ItemT], ResultT],
     items: Sequence[ItemT],
@@ -156,28 +236,49 @@ def parallel_map(
     """Apply ``fn`` to every item across worker processes, results in order.
 
     ``fn`` and the items must be picklable (module-level function, plain
-    data).  Exceptions *raised by* ``fn`` propagate exactly as they would
-    serially.  Failures *of the machinery* — a worker process dying, the
-    pool failing to start, pickling errors — trigger a serial in-process
-    re-run of the whole sequence when ``fallback_serial`` is true (the
-    default), so callers always get a complete, ordered result list.
+    data).  Work is submitted to the persistent pool (:func:`get_pool`) in
+    contiguous chunks — ``CHUNKS_PER_WORKER`` per worker — so per-item IPC
+    overhead amortizes while stragglers still rebalance.  Exceptions
+    *raised by* ``fn`` propagate exactly as they would serially.  Failures
+    *of the machinery* — a worker process dying, the pool failing to
+    start, pickling errors — discard the pool and trigger a serial
+    in-process re-run of the whole sequence when ``fallback_serial`` is
+    true (the default), so callers always get a complete, ordered result
+    list.
     """
     if not items:
         return []
     workers = max_workers if max_workers is not None else default_workers(len(items))
     if workers <= 1 or len(items) == 1 or _serial_forced():
         return [fn(item) for item in items]
+    chunks = _chunked(items, workers * CHUNKS_PER_WORKER)
     try:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(fn, item) for item in items]
-            return [future.result() for future in futures]
-    except (BrokenProcessPool, OSError, pickle.PicklingError, AttributeError, ImportError):
+        # Pickle in the caller, before anything touches the pool: an
+        # unpicklable payload handed to the executor's call queue kills
+        # the queue's feeder thread and the pool can then never deliver
+        # worker shutdown sentinels — the interpreter hangs at exit.
+        # Pre-pickled bytes always survive the queue.
+        payloads = [pickle.dumps((fn, chunk)) for chunk in chunks]
+    except Exception:
         if not fallback_serial:
             raise
+        return [fn(item) for item in items]
+    try:
+        pool = get_pool(workers)
+        futures = [pool.submit(_apply_chunk, payload) for payload in payloads]
+        out: List[ResultT] = []
+        for future in futures:
+            out.extend(future.result())
+        return out
+    except (BrokenProcessPool, OSError, pickle.PicklingError, AttributeError, ImportError):
         # A worker died or the pool could not be used at all (Attribute/
         # ImportError cover payloads workers cannot unpickle, e.g. functions
-        # from script-style modules under the spawn start method); the work
-        # itself is assumed sound, so redo everything in-process.
+        # from script-style modules under the spawn start method).  The pool
+        # may be poisoned — drop it so the next call starts clean.
+        shutdown_pool(wait=False)
+        if not fallback_serial:
+            raise
+        # The work itself is assumed sound, so redo everything in-process.
         return [fn(item) for item in items]
 
 

@@ -27,7 +27,12 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 from repro.errors import PolicyError
-from repro.metrics.stats import OutcomeAggregate, TransactionOutcome, aggregate
+from repro.metrics.stats import (
+    OutcomeAggregate,
+    StreamingOutcomeAggregator,
+    TransactionOutcome,
+    aggregate,
+)
 from repro.workloads.testbed import Cluster
 
 
@@ -48,12 +53,17 @@ class StaleCommitTracker:
     ``finished`` map after inspection to keep long runs bounded.
     """
 
-    def __init__(self, cluster: Cluster) -> None:
+    def __init__(self, cluster: Cluster, max_examples: int = 1024) -> None:
         self.cluster = cluster
         self.commits = 0
         self.stale_commits = 0
-        #: txn_id → list of domains whose version was behind (stale only).
+        #: txn_id → list of domains whose version was behind — capped at
+        #: ``max_examples`` entries so unbounded runs stay O(1); the
+        #: ``stale_commits`` / ``stale_by_domain`` counters are never capped.
         self.stale_domains: Dict[str, List[str]] = {}
+        self.max_examples = max_examples
+        #: domain → number of stale commits it contributed to (uncapped).
+        self.stale_by_domain: Dict[str, int] = {}
 
     def observe(self, outcome: TransactionOutcome) -> None:
         ctx = self._pop_context(outcome.txn_id)
@@ -72,7 +82,10 @@ class StaleCommitTracker:
                 behind.append(policy_id.admin)
         if behind:
             self.stale_commits += 1
-            self.stale_domains[outcome.txn_id] = behind
+            for domain in behind:
+                self.stale_by_domain[domain] = self.stale_by_domain.get(domain, 0) + 1
+            if len(self.stale_domains) < self.max_examples:
+                self.stale_domains[outcome.txn_id] = behind
 
     def _pop_context(self, txn_id: str):
         for tm in self.cluster.tms:
@@ -133,6 +146,54 @@ def split_by_master_locality(
     )
 
 
+class StreamingLocalitySplit:
+    """Online :func:`split_by_master_locality` for streaming runs.
+
+    Wire :meth:`observe` into :attr:`OpenLoopRunner.on_outcome` — hooks run
+    before the runner evicts the transaction's assignment, so the live
+    ``assignments`` mapping is consulted at completion time.  Each half is
+    folded into a :class:`~repro.metrics.stats.StreamingOutcomeAggregator`,
+    keeping memory O(1) in the run length; :meth:`split` materializes the
+    same :class:`LocalitySplit` the offline function returns (p95 columns
+    approximate within one histogram bin, everything else exact).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        assignments: Mapping[str, str],
+        resolution: float = 1.0,
+    ) -> None:
+        self.master_region = cluster.region_of(cluster.config.master_name)
+        self._region_of = cluster.region_of
+        self._assignments = assignments
+        #: TM name → region, memoized (the TM set is small and fixed).
+        self._tm_regions: Dict[str, Optional[str]] = {}
+        self.local = StreamingOutcomeAggregator(resolution)
+        self.remote = StreamingOutcomeAggregator(resolution)
+
+    def observe(self, outcome: TransactionOutcome) -> None:
+        tm_name = self._assignments.get(outcome.txn_id)
+        if tm_name is None:
+            tm_region = None
+        else:
+            tm_region = self._tm_regions.get(tm_name)
+            if tm_region is None and tm_name not in self._tm_regions:
+                tm_region = self._region_of(tm_name)
+                self._tm_regions[tm_name] = tm_region
+        if self.master_region is not None and tm_region not in (None, self.master_region):
+            self.remote.add(outcome)
+        else:
+            self.local.add(outcome)
+
+    def split(self) -> LocalitySplit:
+        return LocalitySplit(
+            master_region=self.master_region,
+            local=self.local.aggregate(),
+            remote=self.remote.aggregate(),
+        )
+
+
 @dataclass
 class ScaleRunResult:
     """Everything ``bench_scale`` reports for one approach's run."""
@@ -146,7 +207,9 @@ class ScaleRunResult:
     cross_region_messages: int
     intra_region_messages: int
     cross_region_bytes: int
-    verify_violations: int
+    #: ``None`` when the run skipped conformance checking (tracing off at
+    #: very large scale — see bench_scale's ``--verify-max-users``).
+    verify_violations: Optional[int]
     storm_publications: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
 

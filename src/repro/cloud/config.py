@@ -20,6 +20,13 @@ if TYPE_CHECKING:
     from repro.sim.topology import RegionTopology
 
 
+#: Proof-cache LRU bound applied when ``streaming_metrics`` is on and
+#: ``proof_cache_capacity`` is left at ``None``.  Sized so the working set
+#: of a contended scale run (in-flight users x governing policies) fits
+#: while distinct-user churn cannot grow the cache with the population.
+STREAMING_PROOF_CACHE_CAPACITY = 4096
+
+
 class MasterFetchMode(enum.Enum):
     """When the TM consults the master version service during validation.
 
@@ -96,6 +103,10 @@ class CloudConfig:
     #: See docs/performance.md.
     enable_proof_cache: bool = True
     #: Max cached proof entries per server (None = unbounded, LRU otherwise).
+    #: With ``streaming_metrics`` on, ``None`` means the streaming default
+    #: (:data:`STREAMING_PROOF_CACHE_CAPACITY`) instead of unbounded — a
+    #: per-user-credential cache would otherwise grow linearly with the
+    #: user population, and cache hits never change outcomes.
     proof_cache_capacity: Optional[int] = None
     #: Which SLD resolver backs proof evaluation: ``"indexed"`` (the
     #: default first-argument-indexed, tabled engine in
@@ -120,6 +131,25 @@ class CloudConfig:
     #: deterministic per transaction id (crc32 hash), so the same
     #: transactions are sampled on every run; 1.0 records everything.
     obs_sample_rate: float = 1.0
+    #: Kernel event-queue implementation: ``"calendar"`` (hybrid heap →
+    #: bucketed calendar queue, the fast default) or ``"heap"`` (the plain
+    #: heapq reference).  Both realize the same (time, priority, sequence)
+    #: total order, so outcomes are bit-identical — property-tested in
+    #: tests/property/test_calendar_queue.py.  See docs/performance.md.
+    kernel_queue: str = "calendar"
+    #: Recycle processed Timeout objects through a kernel free list.
+    #: Safe for the in-tree protocol stack (nothing retains a timeout past
+    #: its firing); disable when embedding code that does.
+    kernel_pooling: bool = True
+    #: Queue size at which the hybrid queue promotes from heap to calendar
+    #: (``None`` = the kernel default).  Equivalence tests set this to a
+    #: tiny value to force the calendar to engage on small workloads.
+    kernel_promote_at: Optional[int] = None
+    #: Streaming (constant-memory) metrics: aggregate transaction outcomes
+    #: online instead of retaining per-transaction records.  Report and
+    #: export columns are unchanged; only memory behaviour differs.  Large
+    #: scale runs (bench_scale) switch this on.
+    streaming_metrics: bool = False
 
     def scaled(self, factor: float) -> "CloudConfig":
         """A copy with every local service time scaled by ``factor``."""

@@ -12,16 +12,17 @@ time, OCSP round trips, and forced log writes all consume simulated time.
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.cloud import messages as msg
-from repro.cloud.config import CloudConfig
+from repro.cloud.config import STREAMING_PROOF_CACHE_CAPACITY, CloudConfig
 from repro.db.constraints import ConstraintSet
 from repro.db.locks import LockManager, LockMode
 from repro.db.recovery import analyze
 from repro.db.storage import StorageEngine
-from repro.db.wal import LogRecordType, WriteAheadLog
+from repro.db.wal import STREAMING_COMPACT_AT, LogRecordType, WriteAheadLog
 from repro.errors import DeadlockError, PolicyError
 from repro.metrics.counters import Metrics
 from repro.metrics.timeline import PROOF_EVAL
@@ -54,6 +55,12 @@ from repro.sim.resources import Resource
 from repro.sim.tracing import Tracer
 from repro.transactions.states import Decision, Vote
 from repro.transactions.transaction import Query
+
+#: Capability-predicate names, interned once per operation (hot path:
+#: every capability issue used to rebuild the f-string).
+_CAPABILITY_PREDICATES = {
+    operation: sys.intern(f"{operation.value}_capability") for operation in Operation
+}
 
 
 @dataclass
@@ -97,10 +104,16 @@ class CloudServer(Node):
         self.metrics = metrics
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.obs = obs if obs is not None else NULL_RECORDER
-        self.storage = StorageEngine(name)
+        # The access log exists for post-run isolation checks, which need a
+        # retained trace anyway; untraced runs (streaming at scale) skip it
+        # so storage memory stays bounded by live workspaces.
+        self.storage = StorageEngine(name, record_accesses=self.tracer.enabled)
         self.constraints = ConstraintSet()
         self.policies = PolicyStore()
-        self.wal = WriteAheadLog(name)
+        self.wal = WriteAheadLog(
+            name,
+            compact_at=STREAMING_COMPACT_AT if metrics.streaming else None,
+        )
         self.default_admin = default_admin
         #: item → administrative domain (defaults to ``default_admin``).
         self.domain_of: Dict[str, str] = dict(domain_of or {})
@@ -115,10 +128,16 @@ class CloudServer(Node):
         #: domain's entries, revocations drop entries using the credential.
         self.proof_cache: Optional[ProofCache] = None
         if config.enable_proof_cache:
+            capacity = config.proof_cache_capacity
+            if capacity is None and config.streaming_metrics:
+                # Hits are outcome-neutral (see config), so bounding the
+                # memo cannot change results — only keep memory O(1) in
+                # the user population.
+                capacity = STREAMING_PROOF_CACHE_CAPACITY
             self.proof_cache = ProofCache(
                 stats=metrics.proof_cache,
                 server=name,
-                capacity=config.proof_cache_capacity,
+                capacity=capacity,
             )
             self.policies.subscribe(self.proof_cache.invalidate_policy)
             registry.subscribe_revocations(
@@ -164,7 +183,7 @@ class CloudServer(Node):
         """
         span = (
             self.obs.start(trace_id, name, KIND_CPU, self.name, self.env.now, parent=parent)
-            if parent is not None
+            if parent is not None and self.obs.enabled
             else None
         )
         cpu = self._cpu_resource()
@@ -211,7 +230,9 @@ class CloudServer(Node):
         as capabilities allowing the user to continue submitting queries to
         other servers during the transaction lifetime" (Section III-A).
         """
-        predicate = f"{operation.value}_capability"
+        # Precomputed per operation: rebuilding the predicate f-string per
+        # call defeats the interned-string identity fast path in rule lookup.
+        predicate = _CAPABILITY_PREDICATES[operation]
         return self.authority.issue(user, Atom(predicate, (user, item)), now, expires_at)
 
     def _handler_span(self, message: Message, name: str, **attrs: Any) -> Optional[Span]:
@@ -219,7 +240,7 @@ class CloudServer(Node):
         embedded span context; ``None`` when the message carries none (the
         trace is unsampled, or the sender was not instrumented)."""
         parent = message.get("span_ctx")
-        if parent is None:
+        if parent is None or not self.obs.enabled:
             return None
         return self.obs.start(
             message.get("txn_id"),
@@ -414,17 +435,21 @@ class CloudServer(Node):
         )
         executed.latest_proof = proof
         self.metrics.proofs.on_proof(self.name, txn_id)
-        self.tracer.record(
-            self.env.now,
-            PROOF_EVAL,
-            txn_id=txn_id,
-            server=self.name,
-            phase=phase,
-            query_id=executed.query.query_id,
-            granted=proof.granted,
-            version=proof.policy_version,
-            admin=proof.policy_id.admin,
-        )
+        # Guarded at the call site: with tracing off, building the
+        # eight-keyword details dict alone costs more than the whole proof
+        # bookkeeping above (micro-bench in docs/performance.md).
+        if self.tracer.enabled:
+            self.tracer.record(
+                self.env.now,
+                PROOF_EVAL,
+                txn_id=txn_id,
+                server=self.name,
+                phase=phase,
+                query_id=executed.query.query_id,
+                granted=proof.granted,
+                version=proof.policy_version,
+                admin=proof.policy_id.admin,
+            )
         self.obs.finish(span, self.env.now, granted=proof.granted, version=proof.policy_version)
         return proof
 

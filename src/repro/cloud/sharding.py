@@ -20,6 +20,8 @@ the cluster; workload generators draw keys through it.
 
 from __future__ import annotations
 
+import sys
+
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -143,22 +145,27 @@ def plan_shards(
         raise SimulationError("need at least one region")
     shards: List[ShardSpec] = []
     shard_id = 0
+    intern = sys.intern
     for region in regions:
         for k in range(1, shards_per_region + 1):
-            base = f"{region}-s{k}"
+            # Item/node names are interned at creation: they key the lock
+            # tables, storage dicts, and shard lookups on every query, so
+            # unified string objects keep those lookups on the identity
+            # fast path even when a name is later reconstructed.
+            base = intern(f"{region}-s{k}")
             replicas = tuple(
-                f"{base}-r{m + 1}"
+                intern(f"{base}-r{m + 1}")
                 for m in range(replication_factor - 1)
             )
-            items = tuple(f"{base}/x{j}" for j in range(1, items_per_shard + 1))
-            admin = (admin_for_region or {}).get(region, f"app-{region}")
+            items = tuple(intern(f"{base}/x{j}") for j in range(1, items_per_shard + 1))
+            admin = intern((admin_for_region or {}).get(region, f"app-{region}"))
             shards.append(
                 ShardSpec(
                     shard_id=shard_id,
                     region=region,
                     primary=base,
                     replicas=replicas,
-                    coordinator=f"tm-{base}",
+                    coordinator=intern(f"tm-{base}"),
                     tm_index=shard_id,
                     admin=admin,
                     items=items,

@@ -83,7 +83,10 @@ class LockManager:
         self._held_by_txn: Dict[str, Set[str]] = {}
 
     def _trace(self, category: str, txn_id: str, key: str, mode: Optional[LockMode]) -> None:
-        if self.tracer is not None:
+        # The enabled check lives here, not in record(): grants/releases
+        # fire per lock per transaction, and an untraced run should not pay
+        # for the details dict either.
+        if self.tracer is not None and self.tracer.enabled:
             self.tracer.record(
                 self.env.now,
                 category,

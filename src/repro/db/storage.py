@@ -57,13 +57,16 @@ class Workspace:
 class StorageEngine:
     """Committed key/value state plus in-flight transaction workspaces."""
 
-    def __init__(self, server: str) -> None:
+    def __init__(self, server: str, record_accesses: bool = True) -> None:
         self.server = server
         self._committed: Dict[str, ItemVersion] = {}
         self._workspaces: Dict[str, Workspace] = {}
         #: Ordered access history (reads/writes/applies) for isolation
-        #: checking; see :mod:`repro.db.serializability`.
+        #: checking; see :mod:`repro.db.serializability`.  Grows with every
+        #: access, so untraced streaming runs — which never replay it —
+        #: construct the engine with ``record_accesses=False``.
         self.access_log: List[AccessRecord] = []
+        self._record_accesses = record_accesses
         self._sequence = itertools.count()
 
     # -- bootstrap -------------------------------------------------------------
@@ -118,9 +121,10 @@ class StorageEngine:
         """Transactional read: the transaction's own write, else committed."""
         workspace = self.workspace(txn_id)
         workspace.reads.add(key)
-        self.access_log.append(
-            AccessRecord(next(self._sequence), txn_id, key, AccessKind.READ)
-        )
+        if self._record_accesses:
+            self.access_log.append(
+                AccessRecord(next(self._sequence), txn_id, key, AccessKind.READ)
+            )
         if key in workspace.writes:
             return workspace.writes[key]
         return self.committed_value(key)
@@ -130,9 +134,10 @@ class StorageEngine:
         if key not in self._committed:
             raise StorageError(f"{self.server}: cannot write unknown item {key!r}")
         self.workspace(txn_id).writes[key] = value
-        self.access_log.append(
-            AccessRecord(next(self._sequence), txn_id, key, AccessKind.WRITE)
-        )
+        if self._record_accesses:
+            self.access_log.append(
+                AccessRecord(next(self._sequence), txn_id, key, AccessKind.WRITE)
+            )
 
     def effective_reader(self, txn_id: str) -> Callable[[str], Any]:
         """A ``key -> value`` view: committed state overlaid with the txn's writes.
@@ -158,9 +163,10 @@ class StorageEngine:
             return {}
         for key, value in workspace.writes.items():
             self._committed[key] = ItemVersion(value, committed_by=txn_id, committed_at=committed_at)
-            self.access_log.append(
-                AccessRecord(next(self._sequence), txn_id, key, AccessKind.APPLY)
-            )
+            if self._record_accesses:
+                self.access_log.append(
+                    AccessRecord(next(self._sequence), txn_id, key, AccessKind.APPLY)
+                )
         return dict(workspace.writes)
 
     def discard(self, txn_id: str) -> None:

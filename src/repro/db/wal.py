@@ -51,17 +51,37 @@ class LogRecord:
         return default
 
 
+#: Record-count threshold at which streaming-mode WALs compact (see
+#: ``WriteAheadLog(compact_at=...)``); chosen so compaction cost amortizes
+#: to O(1) per write while the retained tail stays a few thousand records.
+STREAMING_COMPACT_AT = 4096
+
+
 class WriteAheadLog:
     """An append-only, crash-surviving log for one node.
 
     The log survives :meth:`repro.sim.network.Node.crash` by design — it
     models stable storage.  ``forced_writes`` is the paper's log-complexity
     counter.
+
+    ``compact_at`` (None = never, the default) enables checkpoint-style
+    truncation for unbounded streaming runs: whenever the retained record
+    count reaches the threshold, records of transactions this node is
+    provably done with are dropped — those with an END record (coordinator
+    forgot after collecting acks), an ABORT decision (presumed abort: an
+    inquiry gets the same answer with or without the record), or a COMMIT
+    decision alongside a PREPARED record (a participant; nobody queries a
+    participant's log).  A coordinator's COMMIT is retained until its END
+    lands, so in-doubt inquiries still resolve correctly.  LSNs and the
+    ``forced_writes`` / ``unforced_writes`` complexity counters are
+    unaffected; only the record *list* is truncated.
     """
 
-    def __init__(self, owner: str) -> None:
+    def __init__(self, owner: str, compact_at: Optional[int] = None) -> None:
         self.owner = owner
         self._records: List[LogRecord] = []
+        self._next_lsn = 0
+        self.compact_at = compact_at
         self.forced_writes = 0
         self.unforced_writes = 0
 
@@ -88,19 +108,44 @@ class WriteAheadLog:
         payload: Dict[str, Any],
     ) -> LogRecord:
         record = LogRecord(
-            lsn=len(self._records),
+            lsn=self._next_lsn,
             record_type=record_type,
             txn_id=txn_id,
             forced=forced,
             written_at=now,
             payload=tuple(sorted(payload.items())),
         )
+        self._next_lsn += 1
         self._records.append(record)
         if forced:
             self.forced_writes += 1
         else:
             self.unforced_writes += 1
+        if self.compact_at is not None and len(self._records) >= self.compact_at:
+            self._compact()
         return record
+
+    def _compact(self) -> None:
+        """Drop records of transactions this node is provably done with."""
+        ended = set()
+        aborted = set()
+        committed = set()
+        prepared = set()
+        for record in self._records:
+            record_type = record.record_type
+            if record_type is LogRecordType.END:
+                ended.add(record.txn_id)
+            elif record_type is LogRecordType.ABORT:
+                aborted.add(record.txn_id)
+            elif record_type is LogRecordType.COMMIT:
+                committed.add(record.txn_id)
+            elif record_type is LogRecordType.PREPARED:
+                prepared.add(record.txn_id)
+        forgettable = ended | aborted | (committed & prepared)
+        if forgettable:
+            self._records = [
+                record for record in self._records if record.txn_id not in forgettable
+            ]
 
     # -- reading ----------------------------------------------------------------
 

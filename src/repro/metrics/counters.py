@@ -204,9 +204,20 @@ class VerificationCounters:
 
 
 class Metrics:
-    """Bundle of all counters for one simulation."""
+    """Bundle of all counters for one simulation.
 
-    def __init__(self) -> None:
+    ``streaming`` enables constant-memory accounting for unbounded runs:
+    the per-transaction attribution maps (``messages.by_txn``,
+    ``proofs.by_txn``) are evicted through :meth:`release_txn` as each
+    transaction finishes, so their size is bounded by the number of
+    *in-flight* transactions instead of growing with the run.  Global and
+    by-category counters are untouched either way, and the per-transaction
+    counts are read into the :class:`~repro.metrics.stats.TransactionOutcome`
+    before eviction — report and export columns are identical in both modes.
+    """
+
+    def __init__(self, streaming: bool = False) -> None:
+        self.streaming = streaming
         self.messages = MessageCounters()
         self.proofs = ProofCounters()
         self.proof_cache = ProofCacheCounters()
@@ -224,6 +235,18 @@ class Metrics:
     def on_message(self, message: Message) -> None:
         self.messages.on_message(message)
         self.regions.on_message(message)
+
+    def release_txn(self, txn_id: str) -> None:
+        """Drop per-transaction attribution for one finished transaction.
+
+        No-op unless ``streaming`` — the TM calls this unconditionally after
+        building the outcome, so retained-mode runs keep the breakdowns for
+        post-hoc inspection while streaming runs stay bounded.
+        """
+        if not self.streaming:
+            return
+        self.messages.by_txn.pop(txn_id, None)
+        self.proofs.by_txn.pop(txn_id, None)
 
 
 @dataclass(frozen=True)

@@ -5,6 +5,16 @@ abort rates, *where* in the lifecycle aborts are detected (early detection
 saves "expensive undo operations"), and protocol cost.  Each finished
 transaction yields a :class:`TransactionOutcome`; :class:`OutcomeAggregate`
 summarizes a batch.
+
+Two ways to build the aggregate:
+
+* :func:`aggregate` — offline, over a retained list of outcomes (exact
+  percentiles);
+* :class:`StreamingOutcomeAggregator` — online, one outcome at a time in
+  O(1) memory (``CloudConfig.streaming_metrics`` runs).  Every column is
+  exact except ``p95_latency``, which is read off a fixed-resolution
+  histogram and lands within one bin width of the exact nearest-rank
+  value.
 """
 
 from __future__ import annotations
@@ -94,6 +104,135 @@ def percentile(values: Sequence[float], fraction: float) -> float:
     ordered = sorted(values)
     rank = max(0, min(len(ordered) - 1, math.ceil(fraction * len(ordered)) - 1))
     return ordered[rank]
+
+
+class StreamingOutcomeAggregator:
+    """Online :func:`aggregate`: feed outcomes one at a time, keep O(1) state.
+
+    Counts, sums, and abort-reason tallies are exact; the latency
+    distribution is kept as a fixed-``resolution`` histogram (bin index →
+    count), so :meth:`percentile` returns the upper edge of the bin holding
+    the nearest-rank sample — at most one bin width above the exact value.
+    ``first_started`` / ``last_finished`` track the run's span so
+    throughput can be computed without retaining outcomes.
+    """
+
+    __slots__ = (
+        "resolution",
+        "count",
+        "commits",
+        "aborts",
+        "abort_reasons",
+        "latency_sum",
+        "commit_latency_sum",
+        "messages_sum",
+        "proofs_sum",
+        "wasted_time_total",
+        "aborted_queries_sum",
+        "first_started",
+        "last_finished",
+        "_latency_bins",
+    )
+
+    def __init__(self, resolution: float = 1.0) -> None:
+        if resolution <= 0:
+            raise ValueError("histogram resolution must be positive")
+        self.resolution = resolution
+        self.count = 0
+        self.commits = 0
+        self.aborts = 0
+        self.abort_reasons: Dict[str, int] = {}
+        self.latency_sum = 0.0
+        self.commit_latency_sum = 0.0
+        self.messages_sum = 0
+        self.proofs_sum = 0
+        self.wasted_time_total = 0.0
+        self.aborted_queries_sum = 0
+        self.first_started = math.inf
+        self.last_finished = -math.inf
+        self._latency_bins: Dict[int, int] = {}
+
+    def add(self, outcome: TransactionOutcome) -> None:
+        """Fold one finished transaction in (the outcome is not retained)."""
+        latency = outcome.finished_at - outcome.started_at
+        self.count += 1
+        self.latency_sum += latency
+        self.messages_sum += outcome.protocol_messages
+        self.proofs_sum += outcome.proof_evaluations
+        if outcome.committed:
+            self.commits += 1
+            self.commit_latency_sum += latency
+        else:
+            self.aborts += 1
+            self.wasted_time_total += latency
+            self.aborted_queries_sum += outcome.queries_executed
+            key = outcome.abort_reason.value if outcome.abort_reason else "unknown"
+            self.abort_reasons[key] = self.abort_reasons.get(key, 0) + 1
+        if outcome.started_at < self.first_started:
+            self.first_started = outcome.started_at
+        if outcome.finished_at > self.last_finished:
+            self.last_finished = outcome.finished_at
+        bin_index = int(latency / self.resolution)
+        bins = self._latency_bins
+        bins[bin_index] = bins.get(bin_index, 0) + 1
+
+    def percentile(self, fraction: float) -> float:
+        """Approximate nearest-rank percentile from the latency histogram."""
+        if not self.count:
+            return 0.0
+        rank = max(0, min(self.count - 1, math.ceil(fraction * self.count) - 1))
+        seen = 0
+        for bin_index in sorted(self._latency_bins):
+            seen += self._latency_bins[bin_index]
+            if seen > rank:
+                return (bin_index + 1) * self.resolution
+        return (max(self._latency_bins) + 1) * self.resolution
+
+    @property
+    def span(self) -> float:
+        """``last_finished − first_started`` (0.0 before the first outcome)."""
+        return self.last_finished - self.first_started if self.count else 0.0
+
+    def merge(self, other: "StreamingOutcomeAggregator") -> None:
+        """Fold another stream in (e.g. to combine per-partition streams)."""
+        if other.resolution != self.resolution:
+            raise ValueError("cannot merge streams with different resolutions")
+        self.count += other.count
+        self.commits += other.commits
+        self.aborts += other.aborts
+        for reason, count in other.abort_reasons.items():
+            self.abort_reasons[reason] = self.abort_reasons.get(reason, 0) + count
+        self.latency_sum += other.latency_sum
+        self.commit_latency_sum += other.commit_latency_sum
+        self.messages_sum += other.messages_sum
+        self.proofs_sum += other.proofs_sum
+        self.wasted_time_total += other.wasted_time_total
+        self.aborted_queries_sum += other.aborted_queries_sum
+        self.first_started = min(self.first_started, other.first_started)
+        self.last_finished = max(self.last_finished, other.last_finished)
+        for bin_index, count in other._latency_bins.items():
+            self._latency_bins[bin_index] = self._latency_bins.get(bin_index, 0) + count
+
+    def aggregate(self) -> OutcomeAggregate:
+        """The :class:`OutcomeAggregate` of everything folded in so far."""
+        count = self.count
+        return OutcomeAggregate(
+            count=count,
+            commits=self.commits,
+            aborts=self.aborts,
+            abort_reasons=dict(self.abort_reasons),
+            mean_latency=self.latency_sum / count if count else 0.0,
+            p95_latency=self.percentile(0.95),
+            mean_commit_latency=(
+                self.commit_latency_sum / self.commits if self.commits else 0.0
+            ),
+            mean_messages=self.messages_sum / count if count else 0.0,
+            mean_proofs=self.proofs_sum / count if count else 0.0,
+            total_wasted_time=self.wasted_time_total,
+            mean_queries_before_abort=(
+                self.aborted_queries_sum / self.aborts if self.aborts else 0.0
+            ),
+        )
 
 
 def aggregate(outcomes: Iterable[TransactionOutcome]) -> OutcomeAggregate:

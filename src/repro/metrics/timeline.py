@@ -5,6 +5,12 @@ over a transaction's lifetime under each approach.  Cloud servers emit a
 ``proof.eval`` trace record for every evaluation; this module reconstructs
 the figure from the trace: one lane per server, a marker per evaluation,
 plus the α(T)/ω(T) window.
+
+Trace reconstruction needs a retained trace, which unbounded streaming
+runs don't keep.  :class:`StreamingPhaseBreakdown` is the constant-memory
+counterpart: it accumulates the headline per-phase split (execution vs the
+commit-time protocol) online from finished outcomes, so the scale bench
+can still report where transaction time goes at 10^5 users.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.metrics.stats import TransactionOutcome
 from repro.sim.tracing import Tracer
 
 #: Trace category emitted by servers on each proof evaluation.
@@ -98,3 +105,67 @@ def extract_timeline(tracer: Tracer, txn_id: str) -> TransactionTimeline:
     if start is None:
         start = min((event.time for event in events), default=0.0)
     return TransactionTimeline(txn_id, start, ready, end, tuple(events))
+
+
+class StreamingPhaseBreakdown:
+    """Online execution/commit-phase time accounting — no trace required.
+
+    Folds each finished :class:`~repro.metrics.stats.TransactionOutcome`
+    into per-phase sums plus fixed-``resolution`` histograms (bin index →
+    count), so the α(T)→ω(T) execution window and the ω(T)→decision commit
+    window can be reported for runs of any length in O(1) memory.  Wire
+    :meth:`observe` into ``OpenLoopRunner.on_outcome``.
+    """
+
+    __slots__ = (
+        "resolution",
+        "count",
+        "execution_sum",
+        "commit_phase_sum",
+        "_execution_bins",
+        "_commit_bins",
+    )
+
+    def __init__(self, resolution: float = 1.0) -> None:
+        if resolution <= 0:
+            raise ValueError("histogram resolution must be positive")
+        self.resolution = resolution
+        self.count = 0
+        self.execution_sum = 0.0
+        self.commit_phase_sum = 0.0
+        self._execution_bins: Dict[int, int] = {}
+        self._commit_bins: Dict[int, int] = {}
+
+    def observe(self, outcome: TransactionOutcome) -> None:
+        self.count += 1
+        execution = outcome.execution_done_at - outcome.started_at
+        commit_phase = outcome.finished_at - outcome.execution_done_at
+        self.execution_sum += execution
+        self.commit_phase_sum += commit_phase
+        bin_index = int(execution / self.resolution)
+        self._execution_bins[bin_index] = self._execution_bins.get(bin_index, 0) + 1
+        bin_index = int(commit_phase / self.resolution)
+        self._commit_bins[bin_index] = self._commit_bins.get(bin_index, 0) + 1
+
+    @property
+    def mean_execution_time(self) -> float:
+        """Mean α(T)→ω(T) window across observed transactions."""
+        return self.execution_sum / self.count if self.count else 0.0
+
+    @property
+    def mean_commit_phase_time(self) -> float:
+        """Mean ω(T)→decision window across observed transactions."""
+        return self.commit_phase_sum / self.count if self.count else 0.0
+
+    def rows(self, phase: str = "commit") -> List[Tuple[float, float, int]]:
+        """Histogram rows ``(bin_low, bin_high, count)`` for one phase."""
+        if phase == "commit":
+            bins = self._commit_bins
+        elif phase == "execution":
+            bins = self._execution_bins
+        else:
+            raise ValueError(f"unknown phase {phase!r}")
+        return [
+            (index * self.resolution, (index + 1) * self.resolution, bins[index])
+            for index in sorted(bins)
+        ]

@@ -39,7 +39,16 @@ class Event:
     exception thrown into them.
     """
 
-    __slots__ = ("env", "callbacks", "_value", "_exception", "_triggered", "_processed", "defused")
+    __slots__ = (
+        "env",
+        "callbacks",
+        "_value",
+        "_exception",
+        "_triggered",
+        "_processed",
+        "defused",
+        "_pooled",
+    )
 
     def __init__(self, env: "Environment") -> None:  # noqa: F821 (forward ref)
         self.env = env
@@ -50,6 +59,10 @@ class Event:
         self._processed = False
         #: True once some consumer has taken responsibility for a failure.
         self.defused = False
+        #: True only for pool-managed timeouts (see ``Environment.timeout``):
+        #: the run loop recycles the object once its callbacks have run.
+        #: Anything that retains an event past its firing must clear it.
+        self._pooled = False
 
     # -- state inspection -------------------------------------------------
 
@@ -95,7 +108,15 @@ class Event:
         # Zero-delay schedule, pushed directly: equivalent to
         # ``env.schedule(self, 0.0, priority)`` without the delay check.
         env = self.env
-        heappush(env._queue, (env._now, priority, next(env._sequence), self))
+        seq = env._seq
+        env._seq = seq + 1
+        q = env._queue
+        if q.__class__ is list:
+            heappush(q, (env._now, priority, seq, self))
+            if len(q) > env._promote_at:
+                env._promote()
+        else:
+            q.push((env._now, priority, seq, self))
         return self
 
     def fail(self, exception: BaseException, priority: int = NORMAL) -> "Event":
@@ -107,7 +128,15 @@ class Event:
         self._triggered = True
         self._exception = exception
         env = self.env
-        heappush(env._queue, (env._now, priority, next(env._sequence), self))
+        seq = env._seq
+        env._seq = seq + 1
+        q = env._queue
+        if q.__class__ is list:
+            heappush(q, (env._now, priority, seq, self))
+            if len(q) > env._promote_at:
+                env._promote()
+        else:
+            q.push((env._now, priority, seq, self))
         return self
 
     # -- callbacks ---------------------------------------------------------
@@ -156,8 +185,17 @@ class Timeout(Event):
         self._triggered = True
         self._processed = False
         self.defused = False
+        self._pooled = False
         self.delay = delay
-        heappush(env._queue, (env._now + delay, NORMAL, next(env._sequence), self))
+        seq = env._seq
+        env._seq = seq + 1
+        q = env._queue
+        if q.__class__ is list:
+            heappush(q, (env._now + delay, NORMAL, seq, self))
+            if len(q) > env._promote_at:
+                env._promote()
+        else:
+            q.push((env._now + delay, NORMAL, seq, self))
 
 
 class Condition(Event):
@@ -171,6 +209,9 @@ class Condition(Event):
         for event in self.events:
             if event.env is not env:
                 raise SimulationError("cannot mix events from different environments")
+            # Pin children: the condition reads child.value after they fire,
+            # so pooled timeouts must not be recycled out from under it.
+            event._pooled = False
         self._remaining = len(self.events)
         if not self.events:
             self.succeed(self._collect())

@@ -29,7 +29,7 @@ from repro.core.consistency import ConsistencyLevel
 from repro.core.context import TxnContext
 from repro.core.twopvc import broadcast_decision
 from repro.db.items import ItemCatalog
-from repro.db.wal import LogRecordType, WriteAheadLog
+from repro.db.wal import STREAMING_COMPACT_AT, LogRecordType, WriteAheadLog
 from repro.errors import (
     AbortReason,
     NetworkError,
@@ -74,10 +74,17 @@ class TransactionManager(Node):
         self.metrics = metrics
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
         self.obs = obs if obs is not None else NULL_RECORDER
-        self.wal = WriteAheadLog(name)
+        self.wal = WriteAheadLog(
+            name,
+            compact_at=STREAMING_COMPACT_AT if metrics.streaming else None,
+        )
+        #: Finished outcomes, kept for inspection — empty when the metrics
+        #: bundle is streaming (outcomes then flow only through callbacks).
         self.outcomes: List[TransactionOutcome] = []
         self.active: Dict[str, TxnContext] = {}
         #: Finished contexts kept for inspection by tests and benches.
+        #: Streaming runs must drain this map as transactions finish (the
+        #: open-loop runner and the stale-commit tracker both pop it).
         self.finished: Dict[str, TxnContext] = {}
 
     # -- public API ----------------------------------------------------------
@@ -145,24 +152,26 @@ class TransactionManager(Node):
             started_at=self.env.now,
         )
         self.active[txn.txn_id] = ctx
-        self.tracer.record(self.env.now, TXN_START, txn_id=txn.txn_id)
-        ctx.root_span = self.obs.start(
-            txn.txn_id,
-            "txn",
-            KIND_TXN,
-            self.name,
-            self.env.now,
-            approach=approach.name,
-            consistency=consistency.value,
-        )
-        ctx.phase_span = self.obs.start(
-            txn.txn_id,
-            PHASE_EXECUTE,
-            KIND_PHASE,
-            self.name,
-            self.env.now,
-            parent=ctx.root_span,
-        )
+        if self.tracer.enabled:
+            self.tracer.record(self.env.now, TXN_START, txn_id=txn.txn_id)
+        if self.obs.enabled:
+            ctx.root_span = self.obs.start(
+                txn.txn_id,
+                "txn",
+                KIND_TXN,
+                self.name,
+                self.env.now,
+                approach=approach.name,
+                consistency=consistency.value,
+            )
+            ctx.phase_span = self.obs.start(
+                txn.txn_id,
+                PHASE_EXECUTE,
+                KIND_PHASE,
+                self.name,
+                self.env.now,
+                parent=ctx.root_span,
+            )
 
         decision = Decision.ABORT
         try:
@@ -174,7 +183,8 @@ class TransactionManager(Node):
                 )
                 yield from approach.on_query_result(self, ctx, query, server, reply)
             ctx.ready_at = self.env.now  # ω(T): ready to commit
-            self.tracer.record(self.env.now, TXN_READY, txn_id=txn.txn_id)
+            if self.tracer.enabled:
+                self.tracer.record(self.env.now, TXN_READY, txn_id=txn.txn_id)
             self.obs.finish(ctx.phase_span, self.env.now)
             ctx.phase_span = None
             ctx.status = TxnStatus.VALIDATING
@@ -200,12 +210,13 @@ class TransactionManager(Node):
             TxnStatus.COMMITTED if decision is Decision.COMMIT else TxnStatus.ABORTED
         )
         ctx.finished_at = self.env.now
-        self.tracer.record(
-            self.env.now,
-            TXN_DONE,
-            txn_id=txn.txn_id,
-            committed=(decision is Decision.COMMIT),
-        )
+        if self.tracer.enabled:
+            self.tracer.record(
+                self.env.now,
+                TXN_DONE,
+                txn_id=txn.txn_id,
+                committed=(decision is Decision.COMMIT),
+            )
         # Abort paths can leave the execute phase open; close it before the root.
         self.obs.finish(ctx.phase_span, self.env.now)
         ctx.phase_span = None
@@ -216,7 +227,8 @@ class TransactionManager(Node):
             abort_reason=ctx.abort_reason.value if ctx.abort_reason else None,
         )
         outcome = self._build_outcome(ctx)
-        self.outcomes.append(outcome)
+        if not self.metrics.streaming:
+            self.outcomes.append(outcome)
         self.finished[txn.txn_id] = ctx
         self.active.pop(txn.txn_id, None)
         return outcome
@@ -287,7 +299,7 @@ class TransactionManager(Node):
             pass  # a dead participant resolves via recovery; abort stands
 
     def _build_outcome(self, ctx: TxnContext) -> TransactionOutcome:
-        return TransactionOutcome(
+        outcome = TransactionOutcome(
             txn_id=ctx.txn_id,
             approach=ctx.approach_name,
             consistency=ctx.consistency.value,
@@ -306,3 +318,7 @@ class TransactionManager(Node):
             proof_evaluations=self.metrics.proofs.for_txn(ctx.txn_id),
             commit_rounds=ctx.commit_rounds,
         )
+        # The per-txn counts are captured in the outcome above; in streaming
+        # mode the attribution maps can now forget this transaction.
+        self.metrics.release_txn(ctx.txn_id)
+        return outcome

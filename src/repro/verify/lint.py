@@ -20,6 +20,11 @@ enforces the repo's rules statically:
 ``DET005``  ``random.Random(...)`` must not be constructed outside
             ``repro.sim.rng`` in simulated subsystems — route randomness
             through named ``RandomStreams``.
+``DET006``  no iteration over pooled / free-list containers in
+            ``repro.sim`` — a pool holds *recycled live objects* in
+            recycle order, which depends on completion history; iterating
+            one leaks that history into whatever the loop does.  Pools
+            are LIFO stacks: ``append``/``pop`` only.
 
 Suppression: append ``# verify: ignore[CODE] -- reason`` (or a bare
 ``# verify: ignore`` for all codes) to the offending line.
@@ -79,6 +84,11 @@ RULES: Dict[str, Tuple[str, Tuple[str, ...]]] = {
             "repro.workloads",
             "repro.analysis",
         ),
+    ),
+    "DET006": (
+        "iteration over a pooled/free-list container (recycle order is "
+        "completion-history dependent; pools are append/pop-only stacks)",
+        ("repro.sim",),
     ),
 }
 
@@ -145,6 +155,10 @@ _ORDER_INSENSITIVE_METHODS = {
     "isdisjoint",
 }
 _FROZEN_CLASS_SUFFIXES = ("Message", "Record", "Msg")
+#: Attribute/variable names that denote object pools or free lists.  The
+#: kernel's timeout pool is ``_pool``; keep the set in sync with any new
+#: pooled container (DET006).
+_POOL_NAMES = {"_pool", "pool", "_free", "free", "_freelist", "_free_list", "free_list"}
 
 _SUPPRESS_RE = re.compile(r"#\s*verify:\s*ignore(?:\[([A-Z0-9,\s]+)\])?")
 
@@ -333,12 +347,29 @@ class _Visitor(ast.NodeVisitor):
             node = parent if isinstance(parent, (ast.GeneratorExp, ast.ListComp)) else None
         return False
 
+    # -- DET006: pooled containers ---------------------------------------------
+
+    @staticmethod
+    def _is_poollike(node: ast.AST) -> bool:
+        if isinstance(node, ast.Attribute):
+            return node.attr in _POOL_NAMES
+        if isinstance(node, ast.Name):
+            return node.id in _POOL_NAMES
+        return False
+
     def visit_For(self, node: ast.For) -> None:
         if self._is_setlike(node.iter):
             self._emit(
                 node.iter,
                 "DET003",
                 "for-loop over an unordered set (wrap in sorted(...))",
+            )
+        if self._is_poollike(node.iter):
+            self._emit(
+                node.iter,
+                "DET006",
+                "for-loop over a pooled/free-list container (entries are "
+                "recycled objects in completion-history order)",
             )
         self.generic_visit(node)
 
@@ -350,6 +381,13 @@ class _Visitor(ast.NodeVisitor):
                     "DET003",
                     "comprehension over an unordered set reaches an "
                     "order-sensitive result (wrap in sorted(...))",
+                )
+            if self._is_poollike(comp.iter):
+                self._emit(
+                    comp.iter,
+                    "DET006",
+                    "comprehension over a pooled/free-list container (entries "
+                    "are recycled objects in completion-history order)",
                 )
 
     def visit_ListComp(self, node: ast.ListComp) -> None:

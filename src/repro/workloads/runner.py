@@ -6,17 +6,32 @@ balancing, but each transaction is handled by only one TM" (Section III-A).
 times (e.g. a Poisson process), assigning each to a TM round-robin, and
 collects every outcome — the machinery for throughput/latency-under-load
 experiments that a closed loop cannot express.
+
+Two retention modes, selected by ``CloudConfig.streaming_metrics`` (or the
+``retain_outcomes`` override):
+
+* **retained** (default): every outcome lands in :attr:`outcomes` and the
+  runner waits on the full list of completion events — convenient for
+  tests and small benches.
+* **streaming**: outcomes are folded into an online
+  :class:`~repro.metrics.stats.StreamingOutcomeAggregator`
+  (:attr:`stream`) and then dropped; completion is tracked with a single
+  in-flight counter; the per-transaction ``assignments`` entry and the
+  coordinator's ``finished`` context are evicted as each transaction
+  completes.  Peak memory is bounded by the number of *in-flight*
+  transactions, not the length of the run — what makes 10^5-user
+  ``bench_scale`` runs routine (see docs/scale.md).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Generator, List, Optional, Sequence, Union
+from typing import Callable, Dict, Generator, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.approaches import ProofApproach, get_approach
 from repro.core.consistency import ConsistencyLevel
 from repro.errors import SimulationError
-from repro.metrics.stats import TransactionOutcome
+from repro.metrics.stats import StreamingOutcomeAggregator, TransactionOutcome
 from repro.sim.events import Event
 from repro.transactions.transaction import Transaction
 from repro.workloads.testbed import Cluster
@@ -27,7 +42,9 @@ class OpenLoopRunner:
     """Submits a timed workload and gathers outcomes.
 
     ``assignments`` records which TM coordinated each transaction, so tests
-    can verify the balancing discipline.
+    can verify the balancing discipline.  (In streaming mode entries are
+    popped as transactions finish — ``on_outcome`` observers still see the
+    assignment, since hooks run before eviction.)
     """
 
     cluster: Cluster
@@ -48,6 +65,16 @@ class OpenLoopRunner:
     #: Set by :meth:`run` when ``CloudConfig.verify_traces`` is on — the
     #: :class:`repro.verify.report.VerificationReport` of the finished run.
     verification_report: Optional[object] = None
+    #: ``None`` follows ``CloudConfig.streaming_metrics`` (retain unless
+    #: streaming); ``True``/``False`` forces the mode for this runner.
+    retain_outcomes: Optional[bool] = None
+    #: The online aggregate fed in streaming mode (created on first run;
+    #: pre-set it to choose a different histogram resolution).
+    stream: Optional[StreamingOutcomeAggregator] = None
+
+    # Plain class attributes (not dataclass fields): mode resolved per run.
+    _retain = True
+    _tm_by_name = None
 
     def __post_init__(self) -> None:
         if isinstance(self.approach, str):
@@ -63,51 +90,133 @@ class OpenLoopRunner:
 
         Arrival times must be non-decreasing and are interpreted as
         absolute simulation times (>= the environment's current time).
+        Returns the retained outcomes (empty in streaming mode — read
+        :attr:`stream` instead).
         """
         if len(transactions) != len(arrival_times):
             raise SimulationError("one arrival time per transaction required")
         if list(arrival_times) != sorted(arrival_times):
             raise SimulationError("arrival times must be non-decreasing")
+        self._execute(
+            ((arrival, txn, None) for txn, arrival in zip(transactions, arrival_times)),
+            until,
+        )
+        return list(self.outcomes)
+
+    def run_scheduled(
+        self, schedule: Iterable[object], until: Optional[float] = None
+    ) -> List[TransactionOutcome]:
+        """Open-loop run over an iterable of scheduled transactions.
+
+        Each element carries ``arrival``, ``txn``, and ``tm_index``
+        attributes (duck-typed; e.g.
+        :class:`repro.workloads.scale.ScheduledTransaction`) and must come
+        in non-decreasing arrival order.  The iterable is consumed lazily —
+        pass a generator and, with streaming metrics on, peak memory stays
+        independent of the schedule length.  ``tm_index`` routes each
+        transaction directly (``tm_for`` still wins if set; ``None`` falls
+        back to round-robin).
+        """
+        self._execute(
+            ((entry.arrival, entry.txn, entry.tm_index) for entry in schedule),  # type: ignore[attr-defined]
+            until,
+        )
+        return list(self.outcomes)
+
+    def _execute(
+        self,
+        items: Iterable[Tuple[float, Transaction, Optional[int]]],
+        until: Optional[float],
+    ) -> None:
+        env = self.cluster.env
+        retain = self.retain_outcomes
+        if retain is None:
+            retain = not self.cluster.config.streaming_metrics
+        self._retain = retain
+        if not retain:
+            if self.stream is None:
+                self.stream = StreamingOutcomeAggregator()
+            self._tm_by_name = {tm.name: tm for tm in self.cluster.tms}
 
         done_events: List[Event] = []
+        # Streaming completion tracking: one counter + one event instead of
+        # a per-transaction event list.
+        state = {"pending": 0, "submitted_all": False}
+        done = env.event()
+
+        def _finished_one(event: Event) -> None:
+            state["pending"] -= 1
+            if state["submitted_all"] and state["pending"] == 0 and not done.triggered:
+                done.succeed()
 
         def submitter() -> Generator[Event, object, None]:
-            for index, (txn, arrival) in enumerate(zip(transactions, arrival_times)):
-                delay = arrival - self.cluster.env.now
+            index = 0
+            for arrival, txn, tm_index in items:
+                delay = arrival - env.now
                 if delay > 0:
-                    yield self.cluster.env.timeout(delay)
+                    yield env.timeout(delay)
                 if self.tm_for is not None:
                     tm = self.cluster.tms[self.tm_for(txn)]
+                elif tm_index is not None:
+                    tm = self.cluster.tms[tm_index]
                 else:
                     tm = self.cluster.tms[index % len(self.cluster.tms)]
                 self.assignments[txn.txn_id] = tm.name
                 process = tm.submit(txn, self.approach, self.consistency)
                 process.add_callback(self._collect)
-                done_events.append(process)
+                if retain:
+                    done_events.append(process)
+                else:
+                    state["pending"] += 1
+                    process.add_callback(_finished_one)
+                index += 1
 
-        submit_proc = self.cluster.env.process(submitter(), name="open-loop-submitter")
-        self.cluster.env.run(until=submit_proc)
+        submit_proc = env.process(submitter(), name="open-loop-submitter")
+        env.run(until=submit_proc)
         # Wait for every in-flight transaction to finish.
-        if done_events:
-            self.cluster.env.run(until=self.cluster.env.all_of(done_events))
+        if retain:
+            if done_events:
+                env.run(until=env.all_of(done_events))
+        else:
+            state["submitted_all"] = True
+            if state["pending"]:
+                env.run(until=done)
         if until is not None:
-            self.cluster.env.run(until=until)
+            env.run(until=until)
         if self.cluster.config.verify_traces:
             # Opt-in conformance pass over the finished run's trace; raises
             # repro.errors.VerificationError if any invariant is violated.
             self.verification_report = self.cluster.verify(raise_on_violation=True)
-        return list(self.outcomes)
 
     def _collect(self, event: Event) -> None:
-        if event.exception is None:
-            self.outcomes.append(event.value)
+        if event.exception is not None:
+            return
+        outcome = event.value
+        if self._retain:
+            self.outcomes.append(outcome)
             if self.on_outcome is not None:
-                self.on_outcome(event.value)
+                self.on_outcome(outcome)
+            return
+        self.stream.add(outcome)
+        if self.on_outcome is not None:
+            self.on_outcome(outcome)
+        # Hooks have run; evict this transaction's bookkeeping so streaming
+        # runs stay bounded by in-flight work.
+        txn_id = outcome.txn_id
+        tm_name = self.assignments.pop(txn_id, None)
+        if self._tm_by_name is not None and tm_name is not None:
+            tm = self._tm_by_name.get(tm_name)
+            if tm is not None:
+                tm.finished.pop(txn_id, None)  # type: ignore[attr-defined]
 
     # -- summaries ---------------------------------------------------------------
 
     def throughput(self) -> float:
         """Committed transactions per simulated time unit."""
+        stream = self.stream
+        if stream is not None and stream.count:
+            span = stream.span
+            return stream.commits / span if span > 0 else float("inf")
         if not self.outcomes:
             return 0.0
         span = max(outcome.finished_at for outcome in self.outcomes) - min(

@@ -23,6 +23,7 @@ fixed seed reproduces the workload bit-for-bit (asserted by
 from __future__ import annotations
 
 import random
+import sys
 from bisect import bisect_left
 from dataclasses import dataclass
 from typing import Dict, Generator, List, Mapping, Optional, Sequence, Tuple
@@ -133,14 +134,22 @@ def _weighted_region(
     return regions[-1]
 
 
-def generate_scale_workload(
+def iter_scale_workload(
     spec: ScaleWorkloadSpec,
     shards: ShardMap,
     rng: random.Random,
     credentials: Mapping[str, Sequence[Credential]],
     id_prefix: str = "u",
-) -> List[ScheduledTransaction]:
-    """The full deterministic workload, in arrival order.
+) -> Generator[ScheduledTransaction, None, None]:
+    """The deterministic workload as a lazy stream, in arrival order.
+
+    Yields exactly what :func:`generate_scale_workload` lists, one
+    transaction at a time — feed it straight into
+    :meth:`repro.workloads.runner.OpenLoopRunner.run_scheduled` and, with
+    streaming metrics on, the schedule never materializes: peak memory is
+    bounded by in-flight transactions regardless of ``n_users``.  The RNG
+    is consumed as the stream is drawn, so consume it in order (or use the
+    list-building wrapper) to keep runs bit-reproducible.
 
     ``credentials`` maps each user name (``u0 .. u{n_users−1}``) to the
     credentials their transactions carry — mint them once with
@@ -160,15 +169,17 @@ def generate_scale_workload(
         shard.shard_id: ZipfianSampler(len(shard.items), spec.zipf_skew)
         for shard in shards
     }
-    out: List[ScheduledTransaction] = []
     now = 0.0
+    intern = sys.intern
     for index in range(spec.n_users):
         now += rng.expovariate(spec.arrival_rate)
-        user = f"{id_prefix}{index}"
+        # Interned at creation so every later dict lookup keyed by these
+        # ids (TM tables, metrics, span indexes) hits the identity path.
+        user = intern(f"{id_prefix}{index}")
         creds = tuple(credentials[user])
         home = _weighted_region(rng, regions, spec.region_weights)
         for t in range(spec.txns_per_user):
-            txn_id = f"{user}-t{t + 1}"
+            txn_id = intern(f"{user}-t{t + 1}")
             chosen: List[str] = []
             queries: List[Query] = []
             for position in range(spec.txn_length):
@@ -182,23 +193,31 @@ def generate_scale_workload(
                 region_shards = shards.shards_in(region)
                 item = _draw_item(rng, region_shards, samplers, chosen)
                 chosen.append(item)
-                query_id = f"{txn_id}-q{position + 1}"
+                query_id = intern(f"{txn_id}-q{position + 1}")
                 if rng.random() < spec.read_fraction:
                     queries.append(Query.read(query_id, [item]))
                 else:
                     delta = rng.uniform(-spec.write_delta_bound, spec.write_delta_bound)
                     queries.append(Query.write(query_id, deltas={item: delta}))
             txn = Transaction(txn_id, user, tuple(queries), creds)
-            out.append(
-                ScheduledTransaction(
-                    arrival=now,
-                    txn=txn,
-                    user=user,
-                    home_region=home,
-                    tm_index=shards.tm_index_for(chosen[0]),
-                )
+            yield ScheduledTransaction(
+                arrival=now,
+                txn=txn,
+                user=user,
+                home_region=home,
+                tm_index=shards.tm_index_for(chosen[0]),
             )
-    return out
+
+
+def generate_scale_workload(
+    spec: ScaleWorkloadSpec,
+    shards: ShardMap,
+    rng: random.Random,
+    credentials: Mapping[str, Sequence[Credential]],
+    id_prefix: str = "u",
+) -> List[ScheduledTransaction]:
+    """The full deterministic workload as a list (see :func:`iter_scale_workload`)."""
+    return list(iter_scale_workload(spec, shards, rng, credentials, id_prefix))
 
 
 def _draw_item(
@@ -227,12 +246,11 @@ def mint_user_credentials(
     cluster: Cluster, n_users: int, id_prefix: str = "u", role: str = "member"
 ) -> Dict[str, Tuple[Credential, ...]]:
     """Issue one role credential per simulated user."""
-    return {
-        f"{id_prefix}{index}": (
-            cluster.issue_role_credential(f"{id_prefix}{index}", role=role),
-        )
-        for index in range(n_users)
-    }
+    minted: Dict[str, Tuple[Credential, ...]] = {}
+    for index in range(n_users):
+        user = sys.intern(f"{id_prefix}{index}")
+        minted[user] = (cluster.issue_role_credential(user, role=role),)
+    return minted
 
 
 # -- policy-update storms ------------------------------------------------------

@@ -268,8 +268,11 @@ def assemble_cluster(
     if topology is not None:
         latency = RegionalLatency(topology, model_transfer_time=config.model_transfer_time)
     rng = RandomStreams(seed)
-    env = Environment()
-    metrics = Metrics()
+    env_kwargs: Dict[str, Any] = {}
+    if config.kernel_promote_at is not None:
+        env_kwargs["promote_at"] = config.kernel_promote_at
+    env = Environment(queue=config.kernel_queue, pooling=config.kernel_pooling, **env_kwargs)
+    metrics = Metrics(streaming=config.streaming_metrics)
     if topology is not None:
         metrics.regions.configure(topology)
     tracer = Tracer(enabled=trace)

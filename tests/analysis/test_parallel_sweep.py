@@ -2,6 +2,8 @@
 
 import multiprocessing
 import os
+import subprocess
+import sys
 
 import pytest
 
@@ -96,6 +98,35 @@ class TestParallelMap:
             return x * 10
 
         assert parallel_map(local_fn, [1, 2], max_workers=2) == [10, 20]
+
+    def test_unpicklable_payload_does_not_hang_interpreter_exit(self):
+        # Regression: feeding an unpicklable payload to the executor's call
+        # queue kills the queue feeder thread; workers then never receive
+        # shutdown sentinels and interpreter exit blocks forever on the
+        # management-thread join.  parallel_map pre-pickles payloads so the
+        # queue only ever carries bytes — the interpreter must exit cleanly.
+        script = (
+            "from repro.analysis.parallel import parallel_map\n"
+            "def main():\n"
+            "    local = lambda x: x * 10\n"
+            "    print(parallel_map(local, [1, 2], max_workers=2))\n"
+            "main()\n"
+            "print('CLEAN-EXIT')\n"
+        )
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+            "src",
+        )
+        env = dict(os.environ, PYTHONPATH=src)
+        proc = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            timeout=90,
+            env=env,
+        )
+        assert proc.returncode == 0, proc.stderr
+        assert "CLEAN-EXIT" in proc.stdout
 
 
 class TestRunSweep:

@@ -239,6 +239,69 @@ def test_random_construction_inside_rng_module_is_exempt(tmp_path):
     assert active_codes(findings) == []
 
 
+# -- DET006: pooled containers -------------------------------------------------
+
+
+def test_for_loop_over_pool_is_flagged(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "repro/sim/pooling.py",
+        """
+        class Env:
+            def __init__(self):
+                self._pool = []
+
+            def scan(self):
+                for timeout in self._pool:
+                    timeout.reset()
+        """,
+    )
+    assert active_codes(findings) == ["DET006"]
+
+
+def test_comprehension_over_free_list_is_flagged(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "repro/sim/pooling.py",
+        """
+        def live(free_list):
+            return [entry for entry in free_list if entry.armed]
+        """,
+    )
+    assert active_codes(findings) == ["DET006"]
+
+
+def test_pool_append_pop_is_allowed(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "repro/sim/pooling.py",
+        """
+        class Env:
+            def __init__(self):
+                self._pool = []
+
+            def recycle(self, timeout):
+                self._pool.append(timeout)
+
+            def take(self):
+                return self._pool.pop() if self._pool else None
+        """,
+    )
+    assert active_codes(findings) == []
+
+
+def test_pool_iteration_outside_sim_scope_is_allowed(tmp_path):
+    findings = lint_source(
+        tmp_path,
+        "repro/analysis/pools.py",
+        """
+        def drain(pool):
+            return [item for item in pool]
+        """,
+    )
+    assert active_codes(findings) == []
+
+
 # -- suppression ---------------------------------------------------------------
 
 
