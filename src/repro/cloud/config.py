@@ -108,6 +108,15 @@ class CloudConfig:
     #: per-user-credential cache would otherwise grow linearly with the
     #: user population, and cache hits never change outcomes.
     proof_cache_capacity: Optional[int] = None
+    #: How the proof cache reacts to a policy version install:
+    #: ``"precise"`` (default) keeps — re-keyed to the new version — every
+    #: entry whose dependency closure the install's rule diff provably
+    #: cannot affect (:mod:`repro.policy.analyze` impact analysis);
+    #: ``"coarse"`` drops the whole administrative domain, the historical
+    #: behavior.  Verdict-identical either way (asserted by the
+    #: equivalence harness); precise mode only saves host-side
+    #: re-derivations under policy churn.  See docs/policy-analysis.md.
+    proof_cache_invalidation: str = "precise"
     #: Which SLD resolver backs proof evaluation: ``"indexed"`` (the
     #: default first-argument-indexed, tabled engine in
     #: ``repro.policy.rules``) or ``"naive"`` (the reference resolver in

@@ -138,6 +138,7 @@ class CloudServer(Node):
                 stats=metrics.proof_cache,
                 server=name,
                 capacity=capacity,
+                invalidation=config.proof_cache_invalidation,
             )
             self.policies.subscribe(self.proof_cache.invalidate_policy)
             registry.subscribe_revocations(

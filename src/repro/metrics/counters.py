@@ -148,6 +148,7 @@ class ProofCacheCounters:
         self.misses = 0
         self.bypasses = 0
         self.invalidations = 0
+        self.retentions = 0
         self.hits_by_server: Counter = Counter()
         self.misses_by_server: Counter = Counter()
 
@@ -164,6 +165,11 @@ class ProofCacheCounters:
 
     def on_invalidation(self, server: str, entries_dropped: int = 1) -> None:
         self.invalidations += entries_dropped
+
+    def on_retention(self, server: str, entries_kept: int = 1) -> None:
+        """Entries a predicate-precise policy install carried over instead
+        of dropping (see :meth:`ProofCache.invalidate_policy`)."""
+        self.retentions += entries_kept
 
     @property
     def lookups(self) -> int:

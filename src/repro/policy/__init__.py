@@ -8,9 +8,18 @@
 * :mod:`repro.policy.admin` — policy administrators (authoritative versions).
 * :mod:`repro.policy.proofs` — proof-of-authorization evaluation (``eval(f, t)``).
 * :mod:`repro.policy.proofcache` — version-aware memoization of ``eval(f, t)``.
+* :mod:`repro.policy.analyze` — static policy analysis + diff impact analysis.
 """
 
 from repro.policy.admin import PolicyAdministrator
+from repro.policy.analyze import (
+    AnalysisReport,
+    analyze_rules,
+    analyze_text,
+    changed_predicates,
+    dependency_closure,
+    diff_impact,
+)
 from repro.policy.credentials import (
     CARegistry,
     CertificateAuthority,
@@ -39,6 +48,7 @@ from repro.policy.proofs import (
 from repro.policy.rules import Atom, FactBase, ProofNode, Rule, RuleSet, Variable, unify
 
 __all__ = [
+    "AnalysisReport",
     "Atom",
     "CARegistry",
     "CertificateAuthority",
@@ -62,6 +72,11 @@ __all__ = [
     "Rule",
     "RuleSet",
     "Variable",
+    "analyze_rules",
+    "analyze_text",
+    "changed_predicates",
+    "dependency_closure",
+    "diff_impact",
     "evaluate_proof",
     "fetch_statuses",
     "parse_atom",

@@ -26,8 +26,12 @@ mutations that *can* change verdicts without any key changing:
 
 * **policy installs** — :meth:`repro.policy.store.PolicyStore.subscribe`
   calls :meth:`ProofCache.invalidate_policy` whenever a newer version is
-  installed (old-version entries could no longer hit — their key pins the
-  version — but dropping them bounds memory and keeps accounting exact);
+  installed.  Old-version entries could no longer hit — their key pins the
+  version — so coarse mode simply drops the domain.  Precise mode (the
+  default) instead diffs the outgoing and incoming rule sets
+  (:func:`repro.policy.analyze.changed_predicates`) and *re-keys* to the
+  new version every entry whose recorded dependency closure the diff
+  provably cannot affect, dropping only the rest;
 * **credential revocations** — :meth:`repro.policy.credentials.CARegistry.
   subscribe_revocations` calls :meth:`ProofCache.invalidate_credential`,
   dropping every entry whose credential set contains the revoked id.
@@ -47,8 +51,9 @@ from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, Iterator, Optional, Sequence, Set, Tuple
 
 from repro.obs.spans import Span, annotate
+from repro.policy.analyze import changed_predicates, dependency_closure
 from repro.policy.credentials import CARegistry, Credential
-from repro.policy.policy import Operation, Policy, PolicyId
+from repro.policy.policy import GUARD_PREDICATES, Operation, Policy, PolicyId
 from repro.policy.proofs import (
     LocalRevocationChecker,
     ProofOfAuthorization,
@@ -72,17 +77,33 @@ class _Entry:
     #: Verdicts are constant for ``window_start <= now < window_end``.
     window_start: float
     window_end: float
+    #: Every predicate this proof's derivation may have consulted: the
+    #: downward closure of the goal predicate over the policy version the
+    #: proof was evaluated under (see
+    #: :func:`repro.policy.analyze.dependency_closure`).  Captured at store
+    #: time so a later policy install can decide whether this entry could
+    #: possibly be affected by the diff.
+    deps: FrozenSet[str] = frozenset()
 
 
 class ProofCache:
     """Per-server memo table for :func:`repro.policy.proofs.evaluate_proof`.
 
     ``stats`` is duck-typed (``on_hit``/``on_miss``/``on_bypass``/
-    ``on_invalidation``, each taking the server name); pass
+    ``on_invalidation``, each taking the server name, plus an optional
+    ``on_retention`` for entries a precise install *kept*); pass
     :class:`repro.metrics.counters.ProofCacheCounters` to export hit/miss/
     invalidation counts, or ``None`` to run unmetered.  ``capacity`` bounds
     the entry count with LRU eviction (``None`` = unbounded; simulations
     are finite, but long-running sweeps may want a ceiling).
+
+    ``invalidation`` selects how :meth:`invalidate_policy` reacts to a
+    version install: ``"coarse"`` (drop the whole administrative domain,
+    the historical behavior) or ``"precise"`` (keep — and re-key to the
+    new version — every entry whose dependency closure is disjoint from
+    the install's changed predicates; see ``docs/policy-analysis.md`` for
+    the soundness argument).  Both modes are verdict-identical; precise
+    mode only saves host-side re-derivations.
     """
 
     def __init__(
@@ -90,13 +111,24 @@ class ProofCache:
         stats: Optional[object] = None,
         server: str = "",
         capacity: Optional[int] = None,
+        invalidation: str = "precise",
     ) -> None:
+        if invalidation not in ("precise", "coarse"):
+            raise ValueError(
+                f"invalidation must be 'precise' or 'coarse', got {invalidation!r}"
+            )
         self.stats = stats
         self.server = server
         self.capacity = capacity
+        self.invalidation = invalidation
         self._entries: "OrderedDict[CacheKey, _Entry]" = OrderedDict()
         self._keys_by_policy: Dict[PolicyId, Set[CacheKey]] = {}
         self._keys_by_credential: Dict[str, Set[CacheKey]] = {}
+        #: (policy id, version, goal predicate) -> dependency closure; the
+        #: closure is a pure function of the version's rules, so memoizing
+        #: it makes per-entry dependency capture O(1) after the first
+        #: evaluation under a version.
+        self._deps_memo: Dict[Tuple[PolicyId, int, str], FrozenSet[str]] = {}
 
     # -- the memoized entry point -------------------------------------------------
 
@@ -161,21 +193,65 @@ class ProofCache:
             server, now, registry, revocation, counters, obs_span,
         )
         window_start, window_end = self._validity_window(credentials, now, revocation)
-        self._store(key, _Entry(proof, window_start, window_end))
+        deps = self._deps_for(policy, operation)
+        self._store(key, _Entry(proof, window_start, window_end, deps))
         if self.stats is not None:
             self.stats.on_miss(self.server)
         return proof
 
     # -- invalidation hooks ----------------------------------------------------------
 
-    def invalidate_policy(self, policy: Policy) -> int:
-        """Drop every entry for ``policy``'s administrative domain.
+    def invalidate_policy(
+        self, policy: Policy, previous: Optional[Policy] = None
+    ) -> int:
+        """React to an install of ``policy``; returns entries dropped.
 
-        Wired to :meth:`PolicyStore.subscribe`; fires when a newer version
-        is installed.  Returns the number of entries dropped.
+        Wired to :meth:`PolicyStore.subscribe`, which passes the version
+        ``previous``\\ ly held by the same store (``None`` on first
+        install).  Coarse mode — and any install whose provenance we can't
+        establish — drops the whole administrative domain.  Precise mode
+        diffs the two versions (:func:`~repro.policy.analyze.
+        changed_predicates`) and *keeps* every entry of the outgoing
+        version whose captured dependency closure is disjoint from the
+        changed predicates, re-keying it to the new version number: such
+        an entry's reachable rule fragment is rule-for-rule identical
+        under both versions, so a fresh evaluation under ``policy`` would
+        reproduce the cached verdict, derivations, and reason exactly
+        (``docs/policy-analysis.md`` § soundness).  Entries pinned to any
+        *other* version are always dropped — they are stale deliveries we
+        never diffed against.
         """
-        keys = self._keys_by_policy.pop(policy.policy_id, set())
-        return self._drop(keys)
+        if (
+            self.invalidation != "precise"
+            or previous is None
+            or previous.policy_id != policy.policy_id
+            or previous.version >= policy.version
+        ):
+            keys = self._keys_by_policy.pop(policy.policy_id, set())
+            return self._drop(keys)
+
+        changed = changed_predicates(previous.rules, policy.rules)
+        domain_keys = self._keys_by_policy.get(policy.policy_id, set())
+        # Iterate in entry insertion order (never raw set order) so the
+        # LRU sequence after an install is hash-seed independent.
+        ordered = [key for key in self._entries if key in domain_keys]
+        to_drop: Set[CacheKey] = set()
+        retained = 0
+        for key in ordered:
+            if key[1] != previous.version:
+                to_drop.add(key)
+                continue
+            entry = self._entries[key]
+            if entry.deps & changed:
+                to_drop.add(key)
+                continue
+            self._rekey(key, entry, policy.version)
+            retained += 1
+        if retained:
+            on_retention = getattr(self.stats, "on_retention", None)
+            if on_retention is not None:
+                on_retention(self.server, retained)
+        return self._drop(to_drop)
 
     def invalidate_credential(self, cred_id: str) -> int:
         """Drop every entry whose credential set contains ``cred_id``.
@@ -262,6 +338,41 @@ class ProofCache:
                 else:
                     end = min(end, boundary)
         return start, end
+
+    def _deps_for(self, policy: Policy, operation: Operation) -> FrozenSet[str]:
+        """Dependency closure of ``operation``'s goal predicate, memoized.
+
+        Every goal :meth:`~repro.policy.policy.Policy.goal` builds for one
+        evaluation shares the same guard predicate, so one closure covers
+        the whole entry regardless of how many items it touched.
+        """
+        goal = GUARD_PREDICATES[operation]
+        memo_key = (policy.policy_id, policy.version, goal)
+        deps = self._deps_memo.get(memo_key)
+        if deps is None:
+            deps = dependency_closure(policy.rules, (goal,))
+            self._deps_memo[memo_key] = deps
+        return deps
+
+    def _rekey(self, key: CacheKey, entry: _Entry, new_version: int) -> None:
+        """Carry ``entry`` over to ``new_version`` of the same policy.
+
+        Only called when the entry's dependency closure is untouched by
+        the diff, which also means the closure itself is identical under
+        the new version — so ``deps`` carries over unchanged.  The entry
+        moves to the most-recent end of the LRU order (deterministically:
+        callers iterate in insertion order).
+        """
+        self._entries.pop(key)
+        self._unindex(key)
+        new_key: CacheKey = (
+            key[0], new_version, key[2], key[3], key[4], key[5], key[6]
+        )
+        entry.proof = replace(entry.proof, policy_version=new_version)
+        self._entries[new_key] = entry
+        self._keys_by_policy.setdefault(new_key[0], set()).add(new_key)
+        for cred_id in new_key[5]:
+            self._keys_by_credential.setdefault(cred_id, set()).add(new_key)
 
     def _store(self, key: CacheKey, entry: _Entry) -> None:
         if key in self._entries:

@@ -14,8 +14,11 @@ from typing import Callable, Dict, Iterable, List, Optional, Tuple
 from repro.errors import PolicyError
 from repro.policy.policy import Policy, PolicyId
 
-#: Callback fired after a policy install changes the store.
-InstallListener = Callable[[Policy], object]
+#: Callback fired after a policy install changes the store.  Receives the
+#: newly installed policy and the version it replaced (``None`` on first
+#: install) so subscribers — notably the proof cache's predicate-precise
+#: invalidation — can diff the two.
+InstallListener = Callable[[Policy, Optional[Policy]], object]
 
 
 class PolicyStore:
@@ -48,7 +51,7 @@ class PolicyStore:
             return False
         self._policies[policy.policy_id] = policy
         for listener in self._listeners:
-            listener(policy)
+            listener(policy, current)
         return True
 
     def current(self, policy_id: PolicyId) -> Policy:

@@ -106,7 +106,7 @@ class PolicyUpdateProcess:
         """Launch the update process in the cluster's environment."""
         return self.cluster.env.process(self._run(), name=f"updates[{self.admin_name}]")
 
-    def _publish(self, rules, label: str) -> None:
+    def _publish(self, rules: RuleSet, label: str) -> None:
         policy = self.cluster.publish(self.admin_name, rules, description=label)
         self.published.append(policy)
 

@@ -28,6 +28,25 @@ def member_policy(version=1):
     return Policy(PolicyId("app"), version, rules)
 
 
+def restricted_policy(version=2):
+    """member_policy with a rewritten read guard (requires clearance)."""
+    rules = RuleSet(
+        [
+            Rule(
+                Atom("may_read", (U, I)),
+                (
+                    Atom("role", (U, "member")),
+                    Atom("clearance", (U,)),
+                    Atom("item", (I,)),
+                ),
+            ),
+            Rule(Atom("item", ("inventory",))),
+            Rule(Atom("item", ("ledger",))),
+        ]
+    )
+    return Policy(PolicyId("app"), version, rules)
+
+
 @pytest.fixture
 def ca():
     return CertificateAuthority("ca")
@@ -161,9 +180,29 @@ class TestInvalidation:
         cred = ca.issue("bob", Atom("role", ("bob", "member")), 0.0)
         cached_eval(cache, store.current(PolicyId("app")), registry, [cred])
         assert len(cache) == 1
+        # v2's rules are identical, so precise invalidation (the default)
+        # keeps the entry re-keyed to v2 — the next v2 evaluation hits.
         assert store.apply(member_policy(2))
+        assert len(cache) == 1
+        assert stats.invalidations == 0 and stats.retentions == 1
+        cached_eval(cache, store.current(PolicyId("app")), registry, [cred])
+        assert stats.hits == 1
+        # v3 rewrites the may_read guard itself: the cached entry's
+        # dependency closure is affected, so it must drop.
+        assert store.apply(restricted_policy(3))
         assert len(cache) == 0
         assert stats.invalidations == 1
+
+    def test_coarse_mode_drops_domain_on_any_install(self, ca, registry):
+        stats = ProofCacheCounters()
+        cache = ProofCache(stats=stats, server="s1", invalidation="coarse")
+        store = PolicyStore([member_policy(1)])
+        store.subscribe(cache.invalidate_policy)
+        cred = ca.issue("bob", Atom("role", ("bob", "member")), 0.0)
+        cached_eval(cache, store.current(PolicyId("app")), registry, [cred])
+        assert store.apply(member_policy(2))  # identical rules, still drops
+        assert len(cache) == 0
+        assert stats.invalidations == 1 and stats.retentions == 0
 
     def test_stale_install_does_not_invalidate(self, ca, registry, cache, stats):
         store = PolicyStore([member_policy(3)])
@@ -188,6 +227,59 @@ class TestInvalidation:
         # Post-revocation evaluation reflects the new truth.
         assert not cached_eval(cache, policy, registry, [cred], now=7.0).granted
 
+    def test_revocation_racing_policy_install(self, ca, registry, cache, stats):
+        """A rekeyed (retained) entry must still fall to a later revocation:
+        the credential index has to follow the entry to its new key."""
+        store = PolicyStore([member_policy(1)])
+        store.subscribe(cache.invalidate_policy)
+        registry.subscribe_revocations(
+            lambda record: cache.invalidate_credential(record.cred_id)
+        )
+        cred = ca.issue("bob", Atom("role", ("bob", "member")), 0.0)
+        cached_eval(cache, store.current(PolicyId("app")), registry, [cred])
+        assert store.apply(member_policy(2))  # identical rules: retained
+        assert len(cache) == 1 and stats.retentions == 1
+        ca.revoke(cred.cred_id, at_time=6.0)
+        assert len(cache) == 0 and stats.invalidations == 1
+
+    def test_install_racing_revocation(self, ca, registry, cache, stats):
+        """Reverse order: the revocation drops the entry first; the install
+        then has nothing to retain and must not resurrect it."""
+        store = PolicyStore([member_policy(1)])
+        store.subscribe(cache.invalidate_policy)
+        registry.subscribe_revocations(
+            lambda record: cache.invalidate_credential(record.cred_id)
+        )
+        cred = ca.issue("bob", Atom("role", ("bob", "member")), 0.0)
+        cached_eval(cache, store.current(PolicyId("app")), registry, [cred])
+        ca.revoke(cred.cred_id, at_time=6.0)
+        assert len(cache) == 0 and stats.invalidations == 1
+        assert store.apply(member_policy(2))
+        assert len(cache) == 0 and stats.retentions == 0
+        # Post-install, post-revocation evaluation reflects both facts.
+        proof = cached_eval(
+            cache, store.current(PolicyId("app")), registry, [cred], now=7.0
+        )
+        assert not proof.granted
+
+    def test_precise_drops_entries_pinned_to_other_versions(
+        self, ca, registry, cache, stats
+    ):
+        """Only entries of the exact outgoing version are diffed; anything
+        older was never compared and must drop."""
+        cred = ca.issue("bob", Atom("role", ("bob", "member")), 0.0)
+        cached_eval(cache, member_policy(1), registry, [cred])
+        cached_eval(cache, member_policy(2), registry, [cred])
+        assert len(cache) == 2
+        store = PolicyStore([member_policy(2)])
+        store.subscribe(cache.invalidate_policy)
+        assert store.apply(member_policy(3))  # identical rules vs v2
+        # v2 entry retained (rekeyed to v3); v1 entry dropped.
+        assert len(cache) == 1
+        assert stats.retentions == 1 and stats.invalidations == 1
+        cached_eval(cache, store.current(PolicyId("app")), registry, [cred])
+        assert stats.hits == 1
+
     def test_registry_subscription_covers_future_authorities(self, registry, cache):
         registry.subscribe_revocations(
             lambda record: cache.invalidate_credential(record.cred_id)
@@ -198,6 +290,56 @@ class TestInvalidation:
         cached_eval(cache, member_policy(), registry, [cred])
         assert len(cache) == 1
         late_ca.revoke(cred.cred_id, 1.0)
+        assert len(cache) == 0
+
+
+class TestLRUInteraction:
+    """Precise invalidation under a bounded (streaming-mode) cache."""
+
+    def test_rekeyed_entries_respect_capacity(self, ca, registry):
+        stats = ProofCacheCounters()
+        cache = ProofCache(stats=stats, server="s1", capacity=2)
+        store = PolicyStore([member_policy(1)])
+        store.subscribe(cache.invalidate_policy)
+        cred = ca.issue("bob", Atom("role", ("bob", "member")), 0.0)
+        cached_eval(cache, store.current(PolicyId("app")), registry, [cred])
+        cached_eval(
+            cache, store.current(PolicyId("app")), registry, [cred], item="ledger"
+        )
+        assert len(cache) == 2
+        assert store.apply(member_policy(2))  # identical rules: both retained
+        assert len(cache) == 2 and stats.retentions == 2
+        # Both re-keyed entries hit under the new version.
+        cached_eval(cache, store.current(PolicyId("app")), registry, [cred])
+        cached_eval(
+            cache, store.current(PolicyId("app")), registry, [cred], item="ledger"
+        )
+        assert stats.hits == 2
+        # A third distinct entry still triggers LRU eviction at capacity.
+        other = ca.issue("eve", Atom("role", ("eve", "member")), 0.0)
+        cache.evaluate(
+            policy=store.current(PolicyId("app")), query_id="q9", user="eve",
+            operation=Operation.READ, items=["inventory"], credentials=[other],
+            server="s1", now=5.0, registry=registry,
+        )
+        assert len(cache) == 2
+
+    def test_eviction_keeps_indexes_consistent_after_rekey(self, ca, registry):
+        stats = ProofCacheCounters()
+        cache = ProofCache(stats=stats, server="s1", capacity=1)
+        store = PolicyStore([member_policy(1)])
+        store.subscribe(cache.invalidate_policy)
+        cred = ca.issue("bob", Atom("role", ("bob", "member")), 0.0)
+        cached_eval(cache, store.current(PolicyId("app")), registry, [cred])
+        assert store.apply(member_policy(2))
+        # The rekeyed entry is evicted by a new store; invalidating the
+        # credential afterwards must be a no-op, not a KeyError.
+        cached_eval(
+            cache, store.current(PolicyId("app")), registry, [cred], item="ledger"
+        )
+        assert len(cache) == 1
+        ca.revoke(cred.cred_id, at_time=6.0)
+        cache.invalidate_credential(cred.cred_id)
         assert len(cache) == 0
 
     def test_clear_counts_invalidations(self, ca, registry, cache, stats):
