@@ -52,6 +52,8 @@ def run_workload(
     obs_spans: bool,
     sample_rate: float = 1.0,
     approach: str = "continuous",
+    live_telemetry: bool = False,
+    flight_recorder: bool = False,
 ) -> Any:
     """One seeded open-loop workload with benign churn; returns the cluster."""
     from repro.workloads.updates import PolicyUpdateProcess
@@ -61,7 +63,12 @@ def run_workload(
         n_servers=3,
         items_per_server=4,
         seed=SEED,
-        config=CloudConfig(obs_spans=obs_spans, obs_sample_rate=sample_rate),
+        config=CloudConfig(
+            obs_spans=obs_spans,
+            obs_sample_rate=sample_rate,
+            live_telemetry=live_telemetry,
+            flight_recorder=flight_recorder,
+        ),
     )
     credential = cluster.issue_role_credential("alice")
     spec = WorkloadSpec(txn_length=3, read_fraction=0.7, count=n_txns, user="alice")
@@ -127,6 +134,42 @@ def measure_recording_overhead(quick: bool, repeats: int) -> Dict[str, Any]:
     return result
 
 
+def measure_live_overhead(quick: bool, repeats: int) -> Dict[str, Any]:
+    """Wall-clock cost of the streaming telemetry layer (sketches +
+    windows + flight rings), measured against the same spans-off baseline
+    the recording gate uses.  The CI gate holds the ratio at ≤ 1.25x."""
+    result: Dict[str, Any] = {"approach": "continuous"}
+
+    def timed(live: bool, flight: bool) -> float:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            cluster = run_workload(
+                quick, obs_spans=False, live_telemetry=live, flight_recorder=flight
+            )
+            best = min(best, time.perf_counter() - start)
+            if live:
+                telemetry = cluster.metrics.live
+                result["sketch_series"] = len(telemetry.latency) + len(
+                    telemetry.lock_wait
+                ) + len(telemetry.proof_eval)
+                result["windows"] = len(telemetry.windows.rows())
+            if flight:
+                result["flight_events"] = cluster.metrics.flight.recorded
+        return best
+
+    baseline = timed(False, False)
+    live_on = timed(True, True)
+    result.update(
+        {
+            "baseline_seconds": round(baseline, 6),
+            "live_seconds": round(live_on, 6),
+            "live_overhead_ratio": round(live_on / baseline, 4),
+        }
+    )
+    return result
+
+
 def measure_analysis_throughput(quick: bool, repeats: int) -> Dict[str, Any]:
     """spans/sec of the pure post-run passes over one recorded run."""
     cluster = run_workload(quick, obs_spans=True)
@@ -171,6 +214,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--max-overhead", type=float, default=None,
         help="fail if overhead_ratio exceeds this (the CI gate passes 1.20)",
     )
+    parser.add_argument(
+        "--max-live-overhead", type=float, default=None,
+        help="fail if live_overhead_ratio (sketches + windows + flight rings "
+        "enabled) exceeds this (the CI gate passes 1.25)",
+    )
     args = parser.parse_args(argv)
     repeats = args.repeats if args.repeats is not None else (2 if args.quick else 5)
 
@@ -185,6 +233,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "seed": SEED,
         },
         "recording_overhead": measure_recording_overhead(args.quick, repeats),
+        "live_overhead": measure_live_overhead(args.quick, repeats),
         "analysis_throughput": measure_analysis_throughput(args.quick, repeats),
     }
     clean = report["recording_overhead"]["problems"] == 0
@@ -201,6 +250,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.max_overhead is not None and ratio > args.max_overhead:
         print(
             f"OVERHEAD GATE FAILED: {ratio} > {args.max_overhead}", file=sys.stderr
+        )
+        return 1
+    live_ratio = report["live_overhead"]["live_overhead_ratio"]
+    if args.max_live_overhead is not None and live_ratio > args.max_live_overhead:
+        print(
+            f"LIVE-TELEMETRY OVERHEAD GATE FAILED: {live_ratio} > "
+            f"{args.max_live_overhead}",
+            file=sys.stderr,
         )
         return 1
     return 0

@@ -96,6 +96,11 @@ def run_one(
         request_timeout=3000.0,
         obs_spans=False,
         streaming_metrics=True,
+        # Live telemetry: per-(approach, consistency, region, shard)
+        # quantile sketches + windowed time-series — the constant-memory
+        # replacement for the per-txn sample lists streaming mode discards.
+        live_telemetry=True,
+        flight_recorder=True,
     )
     cluster = build_multiregion_cluster(
         shards_per_region=shards_per_region,
@@ -135,7 +140,7 @@ def run_one(
     runner = OpenLoopRunner(cluster, approach, consistency)
     tracker = StaleCommitTracker(cluster)
     locality = StreamingLocalitySplit(cluster, runner.assignments)
-    phases = StreamingPhaseBreakdown()
+    phases = StreamingPhaseBreakdown(sketch_accuracy=0.01)
 
     def on_outcome(outcome: Any) -> None:
         locality.observe(outcome)
@@ -146,6 +151,18 @@ def run_one(
     runner.run_scheduled(schedule)
 
     report = cluster.verify() if verify else None
+    live = cluster.metrics.live
+    assert live is not None
+    # Exact sketch roll-up across every (region, shard) series: the
+    # per-approach p50/p95/p99 the paper's Table I regime needs, without
+    # any per-transaction sample list having existed.
+    pooled = live.latency.merged()
+    quantile_row = {
+        "sketch_p50_latency": round(pooled.quantile(0.50), 2),
+        "sketch_p95_latency": round(pooled.quantile(0.95), 2),
+        "sketch_p99_latency": round(pooled.quantile(0.99), 2),
+        "sketch_relative_accuracy": live.relative_accuracy,
+    }
     return ScaleRunResult(
         approach=approach,
         consistency=consistency.name.lower(),
@@ -164,6 +181,11 @@ def run_one(
             "throughput": round(runner.throughput(), 4),
             "mean_execution_time": round(phases.mean_execution_time, 2),
             "mean_commit_phase_time": round(phases.mean_commit_phase_time, 2),
+            "p95_commit_phase_time": round(phases.quantile("commit", 0.95), 2),
+            **quantile_row,
+            # Throughput-over-time / policy-storm-response curves: the
+            # retained windows, oldest first (see docs/observability.md).
+            "time_series": live.window_series(),
         },
     )
 

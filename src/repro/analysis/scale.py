@@ -24,7 +24,7 @@ measurements are specific to that regime and live here:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional
 
 from repro.errors import PolicyError
 from repro.metrics.stats import (
@@ -86,6 +86,9 @@ class StaleCommitTracker:
                 self.stale_by_domain[domain] = self.stale_by_domain.get(domain, 0) + 1
             if len(self.stale_domains) < self.max_examples:
                 self.stale_domains[outcome.txn_id] = behind
+            live = self.cluster.metrics.live
+            if live is not None:
+                live.record_stale(outcome.finished_at)  # type: ignore[attr-defined]
 
     def _pop_context(self, txn_id: str):
         for tm in self.cluster.tms:
@@ -211,7 +214,9 @@ class ScaleRunResult:
     #: very large scale — see bench_scale's ``--verify-max-users``).
     verify_violations: Optional[int]
     storm_publications: int = 0
-    extra: Dict[str, float] = field(default_factory=dict)
+    #: Bench-specific extras merged into the row verbatim (scalar columns,
+    #: or structured values like sketch quantile tables / window series).
+    extra: Dict[str, Any] = field(default_factory=dict)
 
     def row(self) -> Dict[str, object]:
         """A flat, JSON-ready record (the BENCH_SCALE.json row)."""

@@ -159,6 +159,26 @@ class CloudConfig:
     #: export columns are unchanged; only memory behaviour differs.  Large
     #: scale runs (bench_scale) switch this on.
     streaming_metrics: bool = False
+    #: Live telemetry (:mod:`repro.obs.live`): labeled mergeable quantile
+    #: sketches (latency, commit phase, lock-wait, proof-eval cost) plus a
+    #: windowed time-series ring.  O(label cardinality + window ring)
+    #: memory — the observability layer for streaming runs where sample
+    #: lists are discarded.  Host-side only; never consumes simulated time.
+    live_telemetry: bool = False
+    #: Width of one live-telemetry time-series window (simulation units).
+    telemetry_window: float = 250.0
+    #: Number of time-series windows retained (ring capacity).
+    telemetry_windows: int = 64
+    #: Relative-error bound α of the live-telemetry quantile sketches:
+    #: any reported quantile is within ``α·x`` of the exact nearest-rank
+    #: sample ``x``.  Smaller α costs O(log range / α) bucket memory.
+    sketch_accuracy: float = 0.01
+    #: Flight recorder (:mod:`repro.obs.flight`): bounded per-node rings of
+    #: recent events, dumped as a self-contained incident bundle when the
+    #: conformance checker finds violations (or on explicit trigger).
+    flight_recorder: bool = False
+    #: Events retained per node ring in the flight recorder.
+    flight_capacity: int = 256
 
     def scaled(self, factor: float) -> "CloudConfig":
         """A copy with every local service time scaled by ``factor``."""

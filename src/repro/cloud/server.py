@@ -154,8 +154,21 @@ class CloudServer(Node):
     def _lock_manager(self) -> LockManager:
         if self.locks is None:
             assert self.env is not None, "server must be registered with a network"
-            self.locks = LockManager(self.env, self.name, tracer=self.tracer, obs=self.obs)
+            self.locks = LockManager(
+                self.env,
+                self.name,
+                tracer=self.tracer,
+                obs=self.obs,
+                on_wait=self._on_lock_wait(),
+            )
         return self.locks
+
+    def _on_lock_wait(self) -> Optional[Any]:
+        """Live-telemetry feed for resolved queued lock waits (or None)."""
+        live = self.metrics.live
+        if live is None:
+            return None
+        return lambda waited, now: live.record_lock_wait(self.name, waited, now)
 
     def _cpu_resource(self) -> Optional[Resource]:
         """Lazily created compute-slot pool (None = unbounded)."""
@@ -391,6 +404,7 @@ class CloudServer(Node):
         evaluation time — the whole stretch attributes to "proof" on the
         critical path.
         """
+        eval_started = self.env.now
         span = (
             self.obs.start(
                 txn_id,
@@ -436,6 +450,24 @@ class CloudServer(Node):
         )
         executed.latest_proof = proof
         self.metrics.proofs.on_proof(self.name, txn_id)
+        if self.metrics.live is not None:
+            # Simulated span of the whole evaluation (OCSP round trip +
+            # CPU queueing + evaluation time), not just the fixed cost.
+            self.metrics.live.record_proof_eval(  # type: ignore[attr-defined]
+                self.name, phase, self.env.now - eval_started, self.env.now
+            )
+        if self.metrics.flight is not None:
+            self.metrics.flight.record(  # type: ignore[attr-defined]
+                self.name,
+                self.env.now,
+                "proof.eval",
+                txn_id=txn_id,
+                detail=(
+                    ("phase", phase),
+                    ("granted", proof.granted),
+                    ("version", proof.policy_version),
+                ),
+            )
         # Guarded at the call site: with tracing off, building the
         # eight-keyword details dict alone costs more than the whole proof
         # bookkeeping above (micro-bench in docs/performance.md).
@@ -658,7 +690,13 @@ class CloudServer(Node):
             self.storage.discard(txn_id)
         self._txns.clear()
         if self.env is not None:
-            self.locks = LockManager(self.env, self.name, tracer=self.tracer, obs=self.obs)
+            self.locks = LockManager(
+                self.env,
+                self.name,
+                tracer=self.tracer,
+                obs=self.obs,
+                on_wait=self._on_lock_wait(),
+            )
 
     def on_recover(self) -> None:
         """Replay the WAL: redo logged commits, resolve in-doubt transactions."""

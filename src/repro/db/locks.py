@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import DeadlockError, SimulationError
 from repro.obs.spans import (
@@ -55,6 +55,8 @@ class _WaitEntry:
     #: Open ``lock.wait`` span, finished when the wait resolves (grant,
     #: deadlock victim, or cancellation by a global abort).
     span: Optional[Span] = None
+    #: Simulation time the request queued, for wait-duration telemetry.
+    queued_at: float = 0.0
 
 
 @dataclass
@@ -73,11 +75,16 @@ class LockManager:
         server: str = "?",
         tracer: Optional[Tracer] = None,
         obs: Optional[SpanRecorder] = None,
+        on_wait: Optional[Callable[[float, float], None]] = None,
     ) -> None:
         self.env = env
         self.server = server
         self.tracer = tracer
         self.obs = obs if obs is not None else NULL_RECORDER
+        #: ``on_wait(waited, now)`` fires when a *queued* request is
+        #: granted (immediate grants never call it) — the live-telemetry
+        #: lock-wait feed.  Host-side only; never consumes simulated time.
+        self.on_wait = on_wait
         self._locks: Dict[str, _LockState] = {}
         #: Keys held per transaction, for O(1) release.
         self._held_by_txn: Dict[str, Set[str]] = {}
@@ -173,7 +180,7 @@ class LockManager:
         event: Event,
         parent: ParentRef = None,
     ) -> None:
-        entry = _WaitEntry(txn_id, mode, event)
+        entry = _WaitEntry(txn_id, mode, event, queued_at=self.env.now)
         state.queue.append(entry)
         cycle = self._find_cycle(txn_id)
         if cycle is not None:
@@ -239,6 +246,8 @@ class LockManager:
                     state.queue.pop(0)
                     self._trace(LOCK_GRANT, entry.txn_id, key, LockMode.EXCLUSIVE)
                     self.obs.finish(entry.span, self.env.now, status="granted")
+                    if self.on_wait is not None:
+                        self.on_wait(self.env.now - entry.queued_at, self.env.now)
                     entry.event.succeed((key, entry.mode))
                     continue
                 break
@@ -246,6 +255,8 @@ class LockManager:
                 self._grant(state, entry.txn_id, key, entry.mode)
                 state.queue.pop(0)
                 self.obs.finish(entry.span, self.env.now, status="granted")
+                if self.on_wait is not None:
+                    self.on_wait(self.env.now - entry.queued_at, self.env.now)
                 entry.event.succeed((key, entry.mode))
                 continue
             break

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.cloud.messages import PROTOCOL_CATEGORIES
 from repro.policy.rules import EngineCounters
@@ -236,11 +236,20 @@ class Metrics:
         #: evaluation the servers run.  Host-side accounting only — never
         #: part of the Table I complexity numbers.
         self.engine = EngineCounters()
+        #: Live telemetry (:class:`repro.obs.live.LiveTelemetry`) when
+        #: ``CloudConfig.live_telemetry`` is on; the testbed attaches it.
+        #: Typed ``Any``: repro.obs sits above the metrics layer.
+        self.live: Optional[Any] = None
+        #: Flight recorder (:class:`repro.obs.flight.FlightRecorder`) when
+        #: ``CloudConfig.flight_recorder`` is on; the testbed attaches it.
+        self.flight: Optional[Any] = None
 
     # convenience used as the network hook directly
     def on_message(self, message: Message) -> None:
         self.messages.on_message(message)
         self.regions.on_message(message)
+        if self.flight is not None:
+            self.flight.on_message(message)
 
     def release_txn(self, txn_id: str) -> None:
         """Drop per-transaction attribution for one finished transaction.

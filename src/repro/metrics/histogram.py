@@ -27,7 +27,9 @@ def bucketize(
         return []
     low, high = min(values), max(values)
     if math.isclose(low, high):
-        return [(low, high, len(values))]
+        # All samples equal: a [low, high) bucket would be zero-width (and
+        # render as an empty range); report one unit-width bucket instead.
+        return [(low, low + 1.0, len(values))]
     width = (high - low) / buckets
     counts = [0] * buckets
     for value in values:

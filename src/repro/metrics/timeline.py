@@ -115,6 +115,11 @@ class StreamingPhaseBreakdown:
     count), so the α(T)→ω(T) execution window and the ω(T)→decision commit
     window can be reported for runs of any length in O(1) memory.  Wire
     :meth:`observe` into ``OpenLoopRunner.on_outcome``.
+
+    Passing ``sketch_accuracy`` additionally maintains one
+    :class:`repro.obs.sketch.QuantileSketch` per phase, so
+    :meth:`quantile` reports any per-phase percentile within the given
+    relative-error bound — still O(1) memory in the run length.
     """
 
     __slots__ = (
@@ -124,9 +129,13 @@ class StreamingPhaseBreakdown:
         "commit_phase_sum",
         "_execution_bins",
         "_commit_bins",
+        "_execution_sketch",
+        "_commit_sketch",
     )
 
-    def __init__(self, resolution: float = 1.0) -> None:
+    def __init__(
+        self, resolution: float = 1.0, sketch_accuracy: Optional[float] = None
+    ) -> None:
         if resolution <= 0:
             raise ValueError("histogram resolution must be positive")
         self.resolution = resolution
@@ -135,6 +144,20 @@ class StreamingPhaseBreakdown:
         self.commit_phase_sum = 0.0
         self._execution_bins: Dict[int, int] = {}
         self._commit_bins: Dict[int, int] = {}
+        if sketch_accuracy is not None:
+            # Local import: repro.obs.sketch is dependency-free, but the
+            # metrics layer should not require repro.obs unless asked to.
+            from repro.obs.sketch import QuantileSketch
+
+            self._execution_sketch: Optional["QuantileSketch"] = QuantileSketch(
+                sketch_accuracy
+            )
+            self._commit_sketch: Optional["QuantileSketch"] = QuantileSketch(
+                sketch_accuracy
+            )
+        else:
+            self._execution_sketch = None
+            self._commit_sketch = None
 
     def observe(self, outcome: TransactionOutcome) -> None:
         self.count += 1
@@ -146,6 +169,24 @@ class StreamingPhaseBreakdown:
         self._execution_bins[bin_index] = self._execution_bins.get(bin_index, 0) + 1
         bin_index = int(commit_phase / self.resolution)
         self._commit_bins[bin_index] = self._commit_bins.get(bin_index, 0) + 1
+        if self._execution_sketch is not None:
+            self._execution_sketch.add(execution)
+            assert self._commit_sketch is not None
+            self._commit_sketch.add(commit_phase)
+
+    def quantile(self, phase: str, fraction: float) -> float:
+        """Per-phase quantile from the sketch (requires ``sketch_accuracy``)."""
+        if phase == "commit":
+            sketch = self._commit_sketch
+        elif phase == "execution":
+            sketch = self._execution_sketch
+        else:
+            raise ValueError(f"unknown phase {phase!r}")
+        if sketch is None:
+            raise ValueError(
+                "quantile() needs StreamingPhaseBreakdown(sketch_accuracy=...)"
+            )
+        return sketch.quantile(fraction)
 
     @property
     def mean_execution_time(self) -> float:

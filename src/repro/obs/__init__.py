@@ -17,7 +17,11 @@ On top of the raw spans sit:
 * :mod:`repro.obs.openmetrics` — OpenMetrics text exposition of counters
   and span histograms;
 * :mod:`repro.obs.crosscheck` — agreement checks between span trees and
-  the flat :class:`~repro.sim.tracing.Tracer` evidence.
+  the flat :class:`~repro.sim.tracing.Tracer` evidence;
+* :mod:`repro.obs.sketch` / :mod:`repro.obs.live` /
+  :mod:`repro.obs.flight` — the streaming counterpart: mergeable quantile
+  sketches, windowed time-series (``python -m repro.obs.live``), and a
+  violation-triggered flight recorder for runs too large to retain spans.
 
 ``python -m repro.obs`` drives all of it from the command line; see
 docs/observability.md for the model and the overhead budget.
@@ -35,6 +39,7 @@ from repro.obs.critical import (
 )
 from repro.obs.export import spans_from_jsonl, spans_to_jsonl
 from repro.obs.render import folded_stacks, render_flame, render_waterfall
+from repro.obs.sketch import QuantileSketch, SketchFamily
 from repro.obs.spans import (
     ALL_KINDS,
     NULL_RECORDER,
@@ -55,6 +60,12 @@ _LAZY = {
     "crosscheck_spans": ("repro.obs.crosscheck", "crosscheck_spans"),
     "render_openmetrics": ("repro.obs.openmetrics", "render_openmetrics"),
     "validate_openmetrics": ("repro.obs.openmetrics", "validate_openmetrics"),
+    # flight dumps render OpenMetrics snapshots; live's CLI builds clusters.
+    "FlightRecorder": ("repro.obs.flight", "FlightRecorder"),
+    "IncidentBundle": ("repro.obs.flight", "IncidentBundle"),
+    "LiveTelemetry": ("repro.obs.live", "LiveTelemetry"),
+    "WindowRing": ("repro.obs.live", "WindowRing"),
+    "WindowStats": ("repro.obs.live", "WindowStats"),
 }
 
 
@@ -72,11 +83,18 @@ __all__ = [
     "ALL_KINDS",
     "Attribution",
     "CATEGORIES",
+    "FlightRecorder",
     "GridCell",
+    "IncidentBundle",
+    "LiveTelemetry",
     "NULL_RECORDER",
+    "QuantileSketch",
+    "SketchFamily",
     "Span",
     "SpanRecorder",
     "SpanTree",
+    "WindowRing",
+    "WindowStats",
     "aggregate_grid",
     "annotate",
     "attribute_latency",

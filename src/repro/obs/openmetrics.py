@@ -78,6 +78,38 @@ def _histogram_lines(
     return lines
 
 
+def _sketch_histogram_lines(
+    name: str,
+    help_text: str,
+    series: Sequence[Tuple[Tuple[Tuple[str, str], ...], Any]],
+) -> List[str]:
+    """One histogram family from quantile sketches (pre-bucketed counts).
+
+    Sketch buckets are folded onto the fixed :data:`DURATION_BUCKETS`
+    boundaries: each sketch bucket is assigned to the first fixed bound at
+    or above its own upper bound (``+Inf`` for the overflow), so the
+    cumulative counts are exact at every fixed boundary the sketch
+    resolution can answer, and ``_sum``/``_count`` are exact.
+    """
+    lines = [f"# TYPE {name} histogram", f"# HELP {name} {help_text}"]
+    bounds = (*DURATION_BUCKETS, float("inf"))
+    for labels, sketch in series:
+        per_bound = {bound: 0 for bound in bounds}
+        for upper, count in sketch.bucket_rows():
+            for bound in bounds:
+                if upper <= bound:
+                    per_bound[bound] += count
+                    break
+        cumulative = 0
+        for bound in bounds:
+            cumulative += per_bound[bound]
+            bucket_labels = (*labels, ("le", _bucket_label(bound)))
+            lines.append(f"{name}_bucket{_labels(bucket_labels)} {cumulative}")
+        lines.append(f"{name}_sum{_labels(labels)} {_value(sketch.sum)}")
+        lines.append(f"{name}_count{_labels(labels)} {sketch.count}")
+    return lines
+
+
 def _span_series(spans: Sequence[Span]) -> List[Tuple[Tuple[Tuple[str, str], ...], List[float]]]:
     by_kind: Dict[str, List[float]] = {}
     for span in spans:
@@ -108,8 +140,14 @@ def render_openmetrics(
     metrics: Metrics,
     recorder: Optional[SpanRecorder] = None,
     stream: Optional[TextIO] = None,
+    live: Optional[Any] = None,
 ) -> str:
-    """The full OpenMetrics exposition for one run; optionally written out."""
+    """The full OpenMetrics exposition for one run; optionally written out.
+
+    ``live`` (a :class:`repro.obs.live.LiveTelemetry`, defaulting to
+    ``metrics.live``) adds the streaming sketch families as native
+    histograms — the span histograms' constant-memory counterpart.
+    """
     lines: List[str] = []
     samples = counter_samples(metrics)
     seen: List[str] = []
@@ -149,6 +187,13 @@ def render_openmetrics(
                 _txn_series(spans),
             )
         )
+
+    if live is None:
+        live = metrics.live
+    if live is not None:
+        for name, help_text, series in live.sketch_families():
+            if series:
+                lines.extend(_sketch_histogram_lines(name, help_text, series))
 
     lines.append("# EOF")
     text = "\n".join(lines) + "\n"

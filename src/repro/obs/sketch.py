@@ -1,0 +1,293 @@
+"""Mergeable quantile sketches (DDSketch-style) for streaming telemetry.
+
+Streaming runs (``CloudConfig.streaming_metrics``) discard per-transaction
+sample lists, so exact percentiles over the full run are unavailable —
+:class:`~repro.metrics.stats.StreamingOutcomeAggregator` only reads a p95
+off a fixed-resolution histogram.  :class:`QuantileSketch` closes that gap
+with the standard log-bucketed construction (Masson et al., *DDSketch*,
+VLDB 2019): values are counted in geometrically sized buckets
+``(γ^(k-1), γ^k]`` with ``γ = (1+α)/(1-α)``, so any reported quantile is
+within **relative error α** of the exact nearest-rank sample, using O(log
+value-range / α) memory regardless of how many values are added.
+
+Two properties the live-telemetry layer (:mod:`repro.obs.live`) relies on:
+
+* **Exact merge semantics** — :meth:`QuantileSketch.merge` adds bucket
+  counts, so ``sketch(A ∪ B)`` and ``merge(sketch(A), sketch(B))`` hold
+  bit-identical buckets, counts, extremes, and therefore quantiles — not
+  merely values equivalent within error (only ``sum`` may differ in the
+  last ulp, from float association order).  Per-label sketches (per
+  region, per shard) can therefore be rolled up into per-approach
+  quantiles without any loss beyond the original α.
+* **Determinism** — bucket keys are pure functions of the value; no
+  randomness, no wall clocks, and iteration is over sorted keys only.
+
+Quantiles use the same nearest-rank rule as
+:func:`repro.metrics.stats.percentile`, so a sketch quantile can be
+compared directly against the exact value computed from a retained run
+(property-tested in ``tests/property/test_sketch_properties.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = ["QuantileSketch", "SketchFamily"]
+
+#: Values at or below this magnitude land in the zero bucket and are
+#: reported as 0.0 — relative error is meaningless at the origin.
+MIN_TRACKABLE = 1e-9
+
+
+class QuantileSketch:
+    """A log-bucketed, relative-error-bounded, mergeable quantile sketch.
+
+    ``relative_accuracy`` is α: for any quantile ``q``, the returned
+    estimate ``x̂`` and the exact nearest-rank sample ``x`` satisfy
+    ``|x̂ - x| <= α·x``.  Only non-negative values are accepted (the
+    telemetry layer feeds durations and costs).
+    """
+
+    __slots__ = (
+        "relative_accuracy",
+        "count",
+        "sum",
+        "_gamma",
+        "_log_gamma",
+        "_zero_count",
+        "_buckets",
+        "_min",
+        "_max",
+    )
+
+    def __init__(self, relative_accuracy: float = 0.01) -> None:
+        if not 0.0 < relative_accuracy < 1.0:
+            raise ValueError("relative accuracy must be in (0, 1)")
+        self.relative_accuracy = relative_accuracy
+        self.count = 0
+        self.sum = 0.0
+        self._gamma = (1.0 + relative_accuracy) / (1.0 - relative_accuracy)
+        self._log_gamma = math.log(self._gamma)
+        self._zero_count = 0
+        #: bucket key → count; key ``k`` covers values in (γ^(k-1), γ^k].
+        self._buckets: Dict[int, int] = {}
+        self._min = math.inf
+        self._max = -math.inf
+
+    # -- recording -------------------------------------------------------------
+
+    def add(self, value: float, count: int = 1) -> None:
+        """Fold ``count`` occurrences of ``value`` into the sketch."""
+        if value < 0.0:
+            raise ValueError(f"sketch accepts non-negative values, got {value!r}")
+        if count <= 0:
+            raise ValueError("count must be positive")
+        self.count += count
+        self.sum += value * count
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+        if value <= MIN_TRACKABLE:
+            self._zero_count += count
+            return
+        key = math.ceil(math.log(value) / self._log_gamma)
+        self._buckets[key] = self._buckets.get(key, 0) + count
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold ``other`` into this sketch — exact (bucket-count addition).
+
+        Both sketches must share the same ``relative_accuracy``; merged
+        quantiles carry the same α bound as if every value had been added
+        to one sketch directly.
+        """
+        if other.relative_accuracy != self.relative_accuracy:
+            raise ValueError(
+                "cannot merge sketches with different relative accuracies: "
+                f"{self.relative_accuracy} vs {other.relative_accuracy}"
+            )
+        self.count += other.count
+        self.sum += other.sum
+        self._zero_count += other._zero_count
+        for key, count in other._buckets.items():
+            self._buckets[key] = self._buckets.get(key, 0) + count
+        self._min = min(self._min, other._min)
+        self._max = max(self._max, other._max)
+
+    @classmethod
+    def merged(cls, sketches: Iterable["QuantileSketch"]) -> "QuantileSketch":
+        """A fresh sketch holding the union of every input sketch."""
+        result: Optional[QuantileSketch] = None
+        for sketch in sketches:
+            if result is None:
+                result = cls(sketch.relative_accuracy)
+            result.merge(sketch)
+        return result if result is not None else cls()
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else 0.0
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, fraction: float) -> float:
+        """Nearest-rank quantile estimate, within α of the exact sample.
+
+        Matches :func:`repro.metrics.stats.percentile`'s rank rule so the
+        two are directly comparable; returns 0.0 on an empty sketch.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("quantile fraction must be in [0, 1]")
+        if not self.count:
+            return 0.0
+        rank = max(0, min(self.count - 1, math.ceil(fraction * self.count) - 1))
+        if rank < self._zero_count:
+            return 0.0
+        seen = self._zero_count
+        for key in sorted(self._buckets):
+            seen += self._buckets[key]
+            if seen > rank:
+                # Midpoint of (γ^(k-1), γ^k] in the log domain: within α of
+                # every value in the bucket.  Clamp into the observed range
+                # so q=0/q=1 report the true extremes.
+                estimate = 2.0 * self._gamma ** key / (self._gamma + 1.0)
+                return min(self._max, max(self._min, estimate))
+        return self._max
+
+    def quantiles(self, fractions: Sequence[float]) -> List[float]:
+        return [self.quantile(fraction) for fraction in fractions]
+
+    def bucket_rows(self) -> List[Tuple[float, int]]:
+        """``(bucket upper bound, count)`` rows, ascending; zero bucket first.
+
+        The OpenMetrics exporter folds these into cumulative histogram
+        buckets on the fixed :data:`repro.obs.openmetrics.DURATION_BUCKETS`
+        boundaries.
+        """
+        rows: List[Tuple[float, int]] = []
+        if self._zero_count:
+            rows.append((0.0, self._zero_count))
+        for key in sorted(self._buckets):
+            rows.append((self._gamma ** key, self._buckets[key]))
+        return rows
+
+    # -- serialization ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready state (lossless; see :meth:`from_dict`)."""
+        return {
+            "relative_accuracy": self.relative_accuracy,
+            "count": self.count,
+            "sum": self.sum,
+            "zero_count": self._zero_count,
+            "buckets": {str(key): count for key, count in sorted(self._buckets.items())},
+            "min": self._min if self.count else None,
+            "max": self._max if self.count else None,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "QuantileSketch":
+        sketch = cls(float(data["relative_accuracy"]))  # type: ignore[arg-type]
+        sketch.count = int(data["count"])  # type: ignore[arg-type]
+        sketch.sum = float(data["sum"])  # type: ignore[arg-type]
+        sketch._zero_count = int(data["zero_count"])  # type: ignore[arg-type]
+        buckets = data.get("buckets") or {}
+        sketch._buckets = {int(key): int(count) for key, count in buckets.items()}  # type: ignore[union-attr]
+        if data.get("min") is not None:
+            sketch._min = float(data["min"])  # type: ignore[arg-type]
+        if data.get("max") is not None:
+            sketch._max = float(data["max"])  # type: ignore[arg-type]
+        return sketch
+
+    def __repr__(self) -> str:
+        return (
+            f"QuantileSketch(alpha={self.relative_accuracy}, count={self.count}, "
+            f"buckets={len(self._buckets)})"
+        )
+
+
+class SketchFamily:
+    """Sketches keyed by a fixed tuple of label values.
+
+    One family per measured quantity (latency, lock-wait, proof-eval cost);
+    the label names are fixed at construction and every :meth:`labels` call
+    supplies one value per name.  Memory is bounded by label cardinality
+    (approaches × levels × regions × shards), never by sample count.
+    """
+
+    __slots__ = ("name", "label_names", "relative_accuracy", "_sketches")
+
+    def __init__(
+        self,
+        name: str,
+        label_names: Tuple[str, ...],
+        relative_accuracy: float = 0.01,
+    ) -> None:
+        self.name = name
+        self.label_names = label_names
+        self.relative_accuracy = relative_accuracy
+        self._sketches: Dict[Tuple[str, ...], QuantileSketch] = {}
+
+    def labels(self, *values: str) -> QuantileSketch:
+        """The sketch for one label tuple, created on first use."""
+        if len(values) != len(self.label_names):
+            raise ValueError(
+                f"family {self.name!r} takes labels {self.label_names}, got {values!r}"
+            )
+        sketch = self._sketches.get(values)
+        if sketch is None:
+            sketch = QuantileSketch(self.relative_accuracy)
+            self._sketches[values] = sketch
+        return sketch
+
+    def series(self) -> List[Tuple[Tuple[Tuple[str, str], ...], QuantileSketch]]:
+        """``(label pairs, sketch)`` rows in sorted label order."""
+        return [
+            (tuple(zip(self.label_names, values)), self._sketches[values])
+            for values in sorted(self._sketches)
+        ]
+
+    def merged(self, **fixed: str) -> QuantileSketch:
+        """Exact roll-up of every sketch matching the given label values.
+
+        ``family.merged(approach="deferred")`` pools all regions/shards of
+        one approach; no keyword pools everything.
+        """
+        positions = {name: index for index, name in enumerate(self.label_names)}
+        for name in fixed:
+            if name not in positions:
+                raise KeyError(f"family {self.name!r} has no label {name!r}")
+        matching = [
+            sketch
+            for values, sketch in sorted(self._sketches.items())
+            if all(values[positions[name]] == value for name, value in fixed.items())
+        ]
+        if not matching:
+            return QuantileSketch(self.relative_accuracy)
+        return QuantileSketch.merged(matching)
+
+    def label_values(self, name: str) -> List[str]:
+        """Distinct values observed for one label, sorted."""
+        index = self.label_names.index(name)
+        return sorted({values[index] for values in self._sketches})
+
+    def __len__(self) -> int:
+        return len(self._sketches)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "labels": list(self.label_names),
+            "relative_accuracy": self.relative_accuracy,
+            "series": [
+                {"labels": list(values), "sketch": sketch.to_dict()}
+                for values, sketch in sorted(self._sketches.items())
+            ],
+        }

@@ -154,6 +154,14 @@ class TransactionManager(Node):
         self.active[txn.txn_id] = ctx
         if self.tracer.enabled:
             self.tracer.record(self.env.now, TXN_START, txn_id=txn.txn_id)
+        if self.metrics.flight is not None:
+            self.metrics.flight.record(  # type: ignore[attr-defined]
+                self.name,
+                self.env.now,
+                "txn.start",
+                txn_id=txn.txn_id,
+                detail=(("approach", approach.name), ("consistency", consistency.value)),
+            )
         if self.obs.enabled:
             ctx.root_span = self.obs.start(
                 txn.txn_id,
@@ -227,6 +235,24 @@ class TransactionManager(Node):
             abort_reason=ctx.abort_reason.value if ctx.abort_reason else None,
         )
         outcome = self._build_outcome(ctx)
+        if self.metrics.live is not None:
+            self.metrics.live.observe_outcome(  # type: ignore[attr-defined]
+                outcome, coordinator=self.name
+            )
+        if self.metrics.flight is not None:
+            self.metrics.flight.record(  # type: ignore[attr-defined]
+                self.name,
+                self.env.now,
+                "txn.done",
+                txn_id=txn.txn_id,
+                detail=(
+                    ("committed", decision is Decision.COMMIT),
+                    (
+                        "abort_reason",
+                        ctx.abort_reason.value if ctx.abort_reason else None,
+                    ),
+                ),
+            )
         if not self.metrics.streaming:
             self.outcomes.append(outcome)
         self.finished[txn.txn_id] = ctx

@@ -42,6 +42,24 @@ def verify_cluster(
     outcomes: Optional[Sequence[Any]] = None,
     checks: Optional[Sequence[str]] = None,
 ) -> VerificationReport:
-    """Collect a finished cluster's evidence and run the conformance checks."""
+    """Collect a finished cluster's evidence and run the conformance checks.
+
+    When the cluster carries a flight recorder (``Metrics.flight``,
+    enabled via ``CloudConfig.flight_recorder``) and the checks find
+    violations, an incident bundle is dumped automatically — the recent
+    event window, a metrics snapshot, and waterfalls of the implicated
+    transactions (see :mod:`repro.obs.flight`).
+    """
     run = collect_run(cluster, outcomes=outcomes)
-    return check_run(run, checks=checks)
+    report = check_run(run, checks=checks)
+    flight = getattr(getattr(cluster, "metrics", None), "flight", None)
+    if report.violations and flight is not None and flight.enabled:
+        flight.dump(
+            reason=f"conformance: {', '.join(sorted(report.codes()))}",
+            now=cluster.env.now,
+            violations=report,
+            metrics=cluster.metrics,
+            recorder=getattr(cluster, "obs", None),
+            live=cluster.metrics.live,
+        )
+    return report

@@ -277,6 +277,26 @@ def assemble_cluster(
         metrics.regions.configure(topology)
     tracer = Tracer(enabled=trace)
     obs = SpanRecorder(enabled=config.obs_spans, sample_rate=config.obs_sample_rate)
+    if config.live_telemetry:
+        # Local import: repro.obs.live sits above repro.metrics and is only
+        # needed when the knob is on.
+        from repro.obs.live import LiveTelemetry
+
+        live = LiveTelemetry(
+            window=config.telemetry_window,
+            capacity=config.telemetry_windows,
+            relative_accuracy=config.sketch_accuracy,
+            metrics=metrics,
+        )
+        if topology is not None:
+            live.bind_regions(topology.region_of)
+        metrics.live = live
+    if config.flight_recorder:
+        from repro.obs.flight import FlightRecorder
+
+        flight = FlightRecorder(capacity=config.flight_capacity)
+        flight.clock = lambda: env.now
+        metrics.flight = flight
     network = Network(
         env,
         rng=rng.stream("network"),

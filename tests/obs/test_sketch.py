@@ -1,0 +1,195 @@
+"""Unit tests for the DDSketch-style quantile sketch and its families.
+
+The property suite (``tests/property/test_sketch_properties.py``) drives
+the relative-error and merge guarantees over randomized inputs; these
+tests pin the concrete contracts the live-telemetry layer builds on:
+nearest-rank agreement with :func:`repro.metrics.stats.percentile`,
+bit-identical merges, lossless serialization, and the
+:class:`~repro.obs.sketch.SketchFamily` labeling/roll-up API.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro.metrics.stats import percentile
+from repro.obs.sketch import MIN_TRACKABLE, QuantileSketch, SketchFamily
+
+FRACTIONS = (0.0, 0.01, 0.25, 0.50, 0.75, 0.95, 0.99, 1.0)
+
+
+def within_alpha(estimate, exact, alpha):
+    return abs(estimate - exact) <= alpha * exact + 1e-12
+
+
+class TestQuantileSketch:
+    def test_rejects_bad_accuracy(self):
+        for alpha in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                QuantileSketch(relative_accuracy=alpha)
+
+    def test_rejects_negative_values_and_counts(self):
+        sketch = QuantileSketch()
+        with pytest.raises(ValueError):
+            sketch.add(-1.0)
+        with pytest.raises(ValueError):
+            sketch.add(1.0, count=0)
+
+    def test_empty_sketch_reports_zeroes(self):
+        sketch = QuantileSketch()
+        assert sketch.count == 0
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.min == 0.0 and sketch.max == 0.0 and sketch.mean == 0.0
+        assert sketch.bucket_rows() == []
+
+    def test_quantile_fraction_validation(self):
+        sketch = QuantileSketch()
+        sketch.add(1.0)
+        with pytest.raises(ValueError):
+            sketch.quantile(1.5)
+        with pytest.raises(ValueError):
+            sketch.quantile(-0.1)
+
+    def test_quantiles_track_exact_percentile_within_alpha(self):
+        alpha = 0.01
+        rng = random.Random(11)
+        values = [rng.lognormvariate(2.0, 1.5) for _ in range(5000)]
+        sketch = QuantileSketch(alpha)
+        for value in values:
+            sketch.add(value)
+        for fraction in FRACTIONS:
+            exact = percentile(values, fraction)
+            assert within_alpha(sketch.quantile(fraction), exact, alpha), fraction
+
+    def test_extremes_clamp_to_observed_range(self):
+        sketch = QuantileSketch(0.05)
+        for value in (1.0, 2.0, 3.0, 400.0):
+            sketch.add(value)
+        assert sketch.quantile(0.0) == 1.0  # bucket midpoint clamped up to min
+        top = sketch.quantile(1.0)
+        assert top <= 400.0 and within_alpha(top, 400.0, 0.05)
+        assert sketch.min == 1.0 and sketch.max == 400.0
+
+    def test_zero_bucket(self):
+        sketch = QuantileSketch()
+        sketch.add(0.0, count=3)
+        sketch.add(MIN_TRACKABLE / 2)
+        sketch.add(10.0)
+        assert sketch.count == 5
+        assert sketch.quantile(0.5) == 0.0
+        assert sketch.quantile(1.0) == 10.0
+        assert sketch.bucket_rows()[0] == (0.0, 4)
+
+    def test_weighted_add_equals_repeated_add(self):
+        weighted = QuantileSketch()
+        repeated = QuantileSketch()
+        weighted.add(7.0, count=5)
+        for _ in range(5):
+            repeated.add(7.0)
+        assert weighted.to_dict() == repeated.to_dict()
+
+    def test_merge_is_bit_identical_to_pooled(self):
+        rng = random.Random(23)
+        values = [rng.expovariate(0.1) for _ in range(800)]
+        pooled = QuantileSketch()
+        left, right = QuantileSketch(), QuantileSketch()
+        for index, value in enumerate(values):
+            pooled.add(value)
+            (left if index % 2 else right).add(value)
+        left.merge(right)
+        merged_state, pooled_state = left.to_dict(), pooled.to_dict()
+        # ``sum`` accumulates in a different order (float association); every
+        # discrete field — buckets, counts, extremes — is bit-identical.
+        assert merged_state.pop("sum") == pytest.approx(pooled_state.pop("sum"))
+        assert merged_state == pooled_state
+        assert [left.quantile(f) for f in FRACTIONS] == [
+            pooled.quantile(f) for f in FRACTIONS
+        ]
+
+    def test_merge_rejects_mismatched_accuracy(self):
+        with pytest.raises(ValueError):
+            QuantileSketch(0.01).merge(QuantileSketch(0.02))
+
+    def test_merged_classmethod(self):
+        sketches = []
+        for base in (1.0, 10.0, 100.0):
+            sketch = QuantileSketch()
+            sketch.add(base)
+            sketches.append(sketch)
+        union = QuantileSketch.merged(sketches)
+        assert union.count == 3
+        assert union.min == 1.0 and union.max == 100.0
+        assert QuantileSketch.merged([]).count == 0
+
+    def test_dict_roundtrip_is_lossless_and_json_safe(self):
+        sketch = QuantileSketch(0.02)
+        for value in (0.0, 0.5, 3.0, 3.0, 250.0):
+            sketch.add(value)
+        data = json.loads(json.dumps(sketch.to_dict()))
+        restored = QuantileSketch.from_dict(data)
+        assert restored.to_dict() == sketch.to_dict()
+        assert [restored.quantile(f) for f in FRACTIONS] == [
+            sketch.quantile(f) for f in FRACTIONS
+        ]
+
+    def test_bucket_rows_ascending_and_complete(self):
+        sketch = QuantileSketch()
+        rng = random.Random(5)
+        for _ in range(200):
+            sketch.add(rng.uniform(0.0, 50.0))
+        rows = sketch.bucket_rows()
+        bounds = [bound for bound, _count in rows]
+        assert bounds == sorted(bounds)
+        assert sum(count for _bound, count in rows) == sketch.count
+
+
+class TestSketchFamily:
+    def make(self):
+        family = SketchFamily("latency", ("approach", "region"), 0.01)
+        family.labels("deferred", "us-east").add(10.0)
+        family.labels("deferred", "eu-west").add(30.0)
+        family.labels("continuous", "us-east").add(20.0)
+        return family
+
+    def test_labels_creates_and_caches(self):
+        family = self.make()
+        assert len(family) == 3
+        assert family.labels("deferred", "us-east") is family.labels(
+            "deferred", "us-east"
+        )
+
+    def test_labels_arity_checked(self):
+        with pytest.raises(ValueError):
+            self.make().labels("deferred")
+
+    def test_series_sorted_with_label_pairs(self):
+        series = self.make().series()
+        keys = [labels for labels, _sketch in series]
+        assert keys == sorted(keys)
+        assert keys[0] == (("approach", "continuous"), ("region", "us-east"))
+
+    def test_merged_filters_by_label(self):
+        family = self.make()
+        deferred = family.merged(approach="deferred")
+        assert deferred.count == 2
+        assert deferred.min == 10.0 and deferred.max == 30.0
+        everything = family.merged()
+        assert everything.count == 3
+        assert family.merged(approach="nope").count == 0
+
+    def test_merged_rejects_unknown_label(self):
+        with pytest.raises(KeyError):
+            self.make().merged(shard="s1")
+
+    def test_label_values(self):
+        family = self.make()
+        assert family.label_values("approach") == ["continuous", "deferred"]
+        assert family.label_values("region") == ["eu-west", "us-east"]
+
+    def test_to_dict_shape(self):
+        data = self.make().to_dict()
+        assert data["name"] == "latency"
+        assert data["labels"] == ["approach", "region"]
+        assert len(data["series"]) == 3
+        assert all(row["sketch"]["count"] == 1 for row in data["series"])

@@ -95,8 +95,14 @@ class TestHistogram:
         assert "no samples" in render_histogram([])
 
     def test_identical_values_single_bucket(self):
+        # Degenerate all-equal input: one *unit-width* bucket, never the
+        # zero-width [5.0, 5.0) range the equal-width formula would give.
         rows = bucketize([5.0, 5.0, 5.0])
-        assert rows == [(5.0, 5.0, 3)]
+        assert rows == [(5.0, 6.0, 3)]
+
+    def test_identical_values_render_shows_full_bar(self):
+        text = render_histogram([5.0, 5.0, 5.0], title="flat", width=10)
+        assert "[    5.0,     6.0) ########## 3" in text
 
     def test_bucket_counts_sum_to_samples(self):
         values = [float(v) for v in range(100)]

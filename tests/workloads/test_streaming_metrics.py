@@ -166,11 +166,19 @@ class TestConstantMemory:
         monkeypatch.setattr(server_mod, "STREAMING_COMPACT_AT", 256)
 
         def peak_for(n_users):
+            # Live telemetry + flight rings ride along: sketches are
+            # O(label cardinality), windows O(ring capacity), flight
+            # O(capacity x nodes) — none may scale with run length.
             config = CloudConfig(
                 request_timeout=500.0,
                 obs_spans=False,
                 streaming_metrics=True,
                 proof_cache_capacity=128,
+                live_telemetry=True,
+                telemetry_window=100.0,
+                telemetry_windows=32,
+                flight_recorder=True,
+                flight_capacity=64,
             )
             cluster = build_multiregion_cluster(
                 shards_per_region=1,
@@ -199,6 +207,10 @@ class TestConstantMemory:
             finally:
                 tracemalloc.stop()
             assert runner.stream.count == n_users
+            # Streaming mode drops outcome lists, but every outcome must
+            # still have reached the latency sketch.
+            assert cluster.metrics.live.latency.merged().count == n_users
+            assert cluster.metrics.flight.recorded > 0
             return peak
 
         small = peak_for(150)
