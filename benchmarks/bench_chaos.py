@@ -1,0 +1,123 @@
+"""Wall-clock benchmark for the chaos engine (``repro.chaos``).
+
+Measures, on the host clock:
+
+* **case throughput** — seconds per fuzz case (build cluster, arm nemesis,
+  drive workload, recover, full conformance pass) across the paper's
+  approach × consistency grid under the default nemesis, and
+* **shrink cost** — candidate runs and wall-clock of minimizing one
+  violating weak-baseline case with the ddmin shrinker.
+
+Every paper-approach cell must come back violation-free — a violation is
+a correctness failure, not a benchmark result, and exits non-zero.  The
+weak-baseline shrink must isolate a non-empty plan preserving its codes.
+
+Writes ``BENCH_chaos.json`` (repo root by default).  Run:
+
+    PYTHONPATH=src python benchmarks/bench_chaos.py [--quick] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from dataclasses import replace
+from typing import Any, Dict, List
+
+from repro.chaos.fuzz import CONSISTENCY_LEVELS, PAPER_APPROACHES, FuzzCase, sweep
+from repro.chaos.plan import FaultPlan, FaultSpec
+from repro.chaos.shrink import shrink_case
+
+SEED = 11
+
+NEMESIS = FaultPlan(
+    (
+        FaultSpec("drop_rate", at=0.0, duration=200.0, rate=0.01),
+        FaultSpec("crash", at=20.0, node="s2", down_for=30.0),
+    ),
+    label="default-nemesis",
+)
+
+SHRINK_PROBE = FaultPlan(
+    (
+        FaultSpec("delay", at=2.0, duration=5.0, delay=1.0),
+        FaultSpec("policy_churn", at=8.0, admin="app", delay=2.0, revoke=True),
+        FaultSpec("drop_rate", at=30.0, duration=10.0, rate=0.01),
+    ),
+    label="shrink-probe",
+)
+
+
+def main(argv: List[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="smaller workload")
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent / "BENCH_chaos.json",
+    )
+    args = parser.parse_args(argv)
+    n_txns = 4 if args.quick else 8
+
+    base = FuzzCase(seed=SEED, plan=NEMESIS, n_transactions=n_txns)
+    started = time.perf_counter()
+    cells = sweep(base)
+    grid_seconds = time.perf_counter() - started
+
+    dirty = [cell for cell in cells if not cell.ok]
+    for cell in dirty:
+        print(f"VIOLATION {cell.summary()}", file=sys.stderr)
+
+    weak = replace(
+        base, approach="weak", plan=SHRINK_PROBE, n_transactions=max(4, n_txns // 2)
+    )
+    started = time.perf_counter()
+    outcome = shrink_case(weak)
+    shrink_seconds = time.perf_counter() - started
+
+    record: Dict[str, Any] = {
+        "bench": "chaos",
+        "quick": args.quick,
+        "grid": {
+            "cells": len(cells),
+            "approaches": list(PAPER_APPROACHES),
+            "consistencies": list(CONSISTENCY_LEVELS),
+            "transactions_per_cell": n_txns,
+            "seconds_total": round(grid_seconds, 3),
+            "seconds_per_case": round(grid_seconds / len(cells), 3),
+            "violations": sum(len(cell.violation_codes) for cell in cells),
+        },
+        "shrink": {
+            "faults_before": len(weak.plan),
+            "faults_after": len(outcome.case.plan),
+            "transactions_after": outcome.case.n_transactions,
+            "candidate_runs": outcome.runs,
+            "seconds": round(shrink_seconds, 3),
+            "codes": list(outcome.target_codes),
+        },
+    }
+    args.out.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+    print(
+        f"grid: {len(cells)} cells x {n_txns} txns in {grid_seconds:.2f}s "
+        f"({grid_seconds / len(cells):.2f}s/case)"
+    )
+    print(
+        f"shrink: {len(weak.plan)} -> {len(outcome.case.plan)} fault(s) "
+        f"in {outcome.runs} runs, {shrink_seconds:.2f}s"
+    )
+    if dirty:
+        print(f"FAIL: {len(dirty)} grid cell(s) reported violations", file=sys.stderr)
+        return 1
+    if not outcome.case.plan or not outcome.target_codes:
+        print("FAIL: shrink produced an empty counterexample", file=sys.stderr)
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

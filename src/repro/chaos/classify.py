@@ -1,0 +1,168 @@
+"""Anomaly classification: violation codes → named consistency anomalies.
+
+The conformance checker (:mod:`repro.verify`) reports *mechanism*-level
+violations: a serialization-graph cycle, a φ/ψ consistency breach, an
+unsafe commit.  The chaos fuzzer wants *phenomenon*-level names — the
+vocabulary of the transactional-anomaly literature (lost update, write
+skew, fractured read; Biswas & Enea's characterization) plus the paper's
+own policy-level anomalies (Defs. 2-4).  This module does the mapping:
+
+=========================  ==========================================
+violation code              anomaly
+=========================  ==========================================
+``consistency.phi``         fractured policy view (Def. 2 breach)
+``consistency.psi``         stale-policy commit (Def. 3 breach)
+``consistency.unsafe-commit``  unauthorized commit (Def. 4 breach)
+``serializability.cycle``   lost update / fractured read / write skew,
+                            sub-classified by the cycle's edge kinds
+``freshness.*``             stale proof of authorization
+``locks.*``                 lock-discipline breach
+``2pvc.*``                  commit-protocol divergence
+``wal.*``                   durability breach
+=========================  ==========================================
+
+Anything unmapped classifies as ``unclassified`` — which the chaos CLI
+and CI treat as a failure: every violation the fuzzer can provoke must
+have a name (or the taxonomy is incomplete).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.verify import report as rep
+
+#: Stable anomaly identifiers (the ``Anomaly.name`` vocabulary).
+LOST_UPDATE = "lost-update"
+FRACTURED_READ = "fractured-read"
+WRITE_SKEW = "write-skew"
+SERIALIZATION_CYCLE = "serialization-cycle"
+FRACTURED_POLICY_VIEW = "fractured-policy-view"
+STALE_POLICY_COMMIT = "stale-policy-commit"
+UNAUTHORIZED_COMMIT = "unauthorized-commit"
+STALE_PROOF = "stale-proof"
+LOCK_DISCIPLINE_BREACH = "lock-discipline-breach"
+COMMIT_PROTOCOL_DIVERGENCE = "commit-protocol-divergence"
+DURABILITY_BREACH = "durability-breach"
+UNCLASSIFIED = "unclassified"
+
+_DIRECT: Dict[str, str] = {
+    rep.CONSISTENCY_PHI: FRACTURED_POLICY_VIEW,
+    rep.CONSISTENCY_PSI: STALE_POLICY_COMMIT,
+    rep.CONSISTENCY_UNSAFE_COMMIT: UNAUTHORIZED_COMMIT,
+}
+
+_PREFIXES: Tuple[Tuple[str, str], ...] = (
+    ("freshness.", STALE_PROOF),
+    ("locks.", LOCK_DISCIPLINE_BREACH),
+    ("2pvc.", COMMIT_PROTOCOL_DIVERGENCE),
+    ("wal.", DURABILITY_BREACH),
+)
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One classified violation."""
+
+    #: Phenomenon name (one of the module constants).
+    name: str
+    #: The underlying conformance-violation code.
+    code: str
+    #: Transaction the checker pinned the violation on.
+    txn_id: str
+    #: Human-readable evidence line.
+    detail: str
+
+    def describe(self) -> str:
+        return f"{self.name} [{self.code}] txn={self.txn_id}: {self.detail}"
+
+
+def _cycle_members(violation: rep.Violation) -> List[str]:
+    """Recover the cycle from the checker's message (``... cycle A -> B -> A``)."""
+    marker = "cycle "
+    text = violation.message
+    pos = text.rfind(marker)
+    if pos < 0:
+        return []
+    return [part.strip() for part in text[pos + len(marker):].split("->") if part.strip()]
+
+
+def _classify_cycle(violation: rep.Violation, run: Optional[Any]) -> Anomaly:
+    """Sub-classify a serialization cycle by the conflict kinds along it.
+
+    Following the standard characterization: a cycle carrying a write-write
+    and a read-write conflict on the same item is a **lost update**; one
+    mixing write-read with read-write dependencies is a **fractured read**
+    (a transaction observed another's partial effects); a cycle made of
+    read-write (anti-)dependencies only is **write skew**.
+    """
+    members = set(_cycle_members(violation))
+    kinds: Set[str] = set()
+    ww_items: Set[str] = set()
+    rw_items: Set[str] = set()
+    if run is not None and members:
+        # Re-derive the conflict edges between the cycle's members from the
+        # run's storage histories — the same code path the checker used.
+        from collections import defaultdict
+
+        from repro.db.serializability import conflict_edges_from_histories
+        from repro.verify.events import CAT_STORAGE
+
+        per_server = defaultdict(list)
+        for event in run.events:
+            if event.category == CAT_STORAGE:
+                per_server[event.get("server")].append(event)
+        histories = []
+        for server in sorted(per_server):
+            ordered = sorted(per_server[server], key=lambda event: event.get("sequence"))
+            histories.append(
+                [(e.get("txn_id"), e.get("key"), e.get("kind")) for e in ordered]
+            )
+        for edge in conflict_edges_from_histories(histories, members):
+            if edge.earlier in members and edge.later in members:
+                kinds.add(edge.kind)
+                if edge.kind == "ww":
+                    ww_items.add(edge.item)
+                elif edge.kind == "rw":
+                    rw_items.add(edge.item)
+    if kinds:
+        if "ww" in kinds and (ww_items & rw_items):
+            name = LOST_UPDATE
+        elif kinds == {"rw"}:
+            name = WRITE_SKEW
+        elif "wr" in kinds:
+            name = FRACTURED_READ
+        else:
+            name = SERIALIZATION_CYCLE
+    else:
+        name = SERIALIZATION_CYCLE
+    return Anomaly(name, violation.code, violation.txn_id, violation.message)
+
+
+def classify_violation(violation: rep.Violation, run: Optional[Any] = None) -> Anomaly:
+    """Classify one violation; ``run`` (a RunRecord) refines cycle naming."""
+    direct = _DIRECT.get(violation.code)
+    if direct is not None:
+        return Anomaly(direct, violation.code, violation.txn_id, violation.message)
+    if violation.code == rep.SERIALIZABILITY_CYCLE:
+        return _classify_cycle(violation, run)
+    for prefix, name in _PREFIXES:
+        if violation.code.startswith(prefix):
+            return Anomaly(name, violation.code, violation.txn_id, violation.message)
+    return Anomaly(UNCLASSIFIED, violation.code, violation.txn_id, violation.message)
+
+
+def classify_report(
+    report: rep.VerificationReport, run: Optional[Any] = None
+) -> List[Anomaly]:
+    """Classify every violation in a verification report, checker order."""
+    return [classify_violation(violation, run) for violation in report.violations]
+
+
+def anomaly_histogram(anomalies: Sequence[Anomaly]) -> Dict[str, int]:
+    """Count anomalies by name (stable, sorted keys)."""
+    histogram: Dict[str, int] = {}
+    for anomaly in sorted(anomalies, key=lambda a: a.name):
+        histogram[anomaly.name] = histogram.get(anomaly.name, 0) + 1
+    return histogram

@@ -1,0 +1,47 @@
+"""The weak access-control baseline the paper's approaches are measured against.
+
+:class:`WeakApproach` evaluates proofs during execution like Punctual does —
+but **ignores denials** and commits through plain 2PC, skipping both the
+proof-truth gate and the policy-version repair of 2PVC.  It models a cloud
+that checks credentials only at query time against whatever (possibly
+stale) policy replica the server happens to hold, the ACGreGate-style
+"local, unsynchronized enforcement" baseline.
+
+Under policy churn this baseline commits transactions whose proofs were
+FALSE or evaluated under inconsistent policy versions — the conformance
+checker flags them (``consistency.unsafe-commit``, φ/ψ breaches), and the
+chaos CLI's contrast mode counts them next to the zero the paper's four
+approaches produce under the *same* fault schedule.  That count is the
+quantified payoff of Algorithms 1-2.
+
+Deliberately **not** registered in :data:`repro.core.approaches.APPROACHES`:
+the registry is the set of paper approaches that tests and benches sweep,
+and the weak baseline must never be picked up by such sweeps.  Instantiate
+it directly and pass the instance to :meth:`Cluster.submit`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.core.approaches import ProofApproach
+from repro.core.context import TxnContext
+from repro.core.twopvc import CommitResult, run_2pvc
+from repro.sim.events import Event
+
+
+class WeakApproach(ProofApproach):
+    """Query-time-only enforcement: evaluate, ignore denials, commit via 2PC."""
+
+    name = "weak"
+    evaluate_during_execution = True
+
+    # The default before_query/on_query_result hooks do nothing — in
+    # particular on_query_result does NOT call require_granted, so a denial
+    # recorded by the server never aborts the transaction.
+
+    def at_commit(self, tm: Any, ctx: TxnContext) -> Generator[Event, Any, CommitResult]:
+        # validate=False degrades 2PVC to plain 2PC: integrity votes only,
+        # no proof truth, no version repair.
+        result = yield from run_2pvc(tm, ctx, validate=False)
+        return result

@@ -1,0 +1,171 @@
+"""Delta-debugging minimization of violating chaos cases.
+
+Given a :class:`~repro.chaos.fuzz.FuzzCase` whose run produces conformance
+violations, :func:`shrink_case` searches for the smallest case that still
+produces the *same violation codes*:
+
+1. **Fault shrink** — classic ddmin (Zeller & Hildebrandt) over the plan's
+   fault specs: repeatedly re-run with chunks of the plan removed, keeping
+   any reduction that preserves the target codes.
+2. **Workload shrink** — then shrink the workload: fewer transactions
+   (halving, then linear), shorter transactions.
+
+Every candidate is a full deterministic re-run (:func:`run_case` with the
+original seed), so the shrinker's verdicts are exact, not heuristic.  The
+output is monotone: the shrunk case never has more faults, more
+transactions, or longer transactions than the input (property-tested).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.chaos.fuzz import CaseResult, FuzzCase, run_case
+from repro.chaos.plan import FaultPlan
+from repro.errors import SimulationError
+
+
+@dataclass
+class ShrinkOutcome:
+    """The minimized case, its (re-verified) result, and the search cost."""
+
+    case: FuzzCase
+    result: CaseResult
+    #: Violation codes the shrink preserved.
+    target_codes: Tuple[str, ...]
+    #: Number of candidate runs executed (including the confirming run).
+    runs: int
+
+
+def _preserves(codes: Sequence[str], target: Sequence[str]) -> bool:
+    """A candidate is a valid reduction iff every target code survives."""
+    present = set(codes)
+    return all(code in present for code in target)
+
+
+def _ddmin(
+    n_items: int, test: Callable[[Tuple[int, ...]], bool]
+) -> Tuple[int, ...]:
+    """Classic ddmin over item *indices*; ``test`` gets the kept subset."""
+    current: List[int] = list(range(n_items))
+    if not current:
+        return ()
+    granularity = 2
+    while len(current) >= 2:
+        chunk_size = max(1, len(current) // granularity)
+        chunks = [
+            current[pos : pos + chunk_size]
+            for pos in range(0, len(current), chunk_size)
+        ]
+        reduced = False
+        for drop in range(len(chunks)):
+            complement = [
+                item
+                for index, chunk in enumerate(chunks)
+                if index != drop
+                for item in chunk
+            ]
+            if test(tuple(complement)):
+                current = complement
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+        if not reduced:
+            if chunk_size <= 1:
+                break
+            granularity = min(len(current), granularity * 2)
+    if current and test(()):
+        current = []
+    return tuple(current)
+
+
+def shrink_case(
+    case: FuzzCase,
+    target_codes: Optional[Sequence[str]] = None,
+    max_runs: int = 128,
+) -> ShrinkOutcome:
+    """Minimize ``case`` while preserving its violation codes.
+
+    ``target_codes`` defaults to every code the unshrunk case produces.
+    ``max_runs`` bounds the number of candidate re-runs; when the budget
+    runs out the best reduction found so far is returned (still valid —
+    every accepted candidate was verified).
+    """
+    runs = 0
+    cache: Dict[Tuple, CaseResult] = {}
+
+    def evaluate(candidate: FuzzCase) -> CaseResult:
+        nonlocal runs
+        key = (
+            candidate.plan,
+            candidate.n_transactions,
+            candidate.txn_length,
+            candidate.approach,
+            candidate.consistency,
+        )
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        runs += 1
+        result = run_case(candidate)
+        cache[key] = result
+        return result
+
+    baseline = evaluate(case)
+    if target_codes is None:
+        target_codes = baseline.violation_codes
+    target = tuple(sorted(set(target_codes)))
+    if not target:
+        raise SimulationError("shrink_case needs a violating case (no target codes)")
+    if not _preserves(baseline.violation_codes, target):
+        raise SimulationError(
+            f"case does not produce the target codes {target!r} "
+            f"(got {baseline.violation_codes!r})"
+        )
+
+    best = case
+    specs = case.plan.specs
+
+    def keeps_violation(kept_indices: Tuple[int, ...]) -> bool:
+        if runs >= max_runs:
+            return False
+        kept = tuple(specs[index] for index in kept_indices)
+        candidate = replace(best, plan=FaultPlan(kept, label=case.plan.label))
+        return _preserves(evaluate(candidate).violation_codes, target)
+
+    # -- 1. fault shrink (ddmin over the plan's specs) ----------------------
+    kept_indices = _ddmin(len(specs), keeps_violation)
+    best = replace(
+        best,
+        plan=FaultPlan(
+            tuple(specs[index] for index in kept_indices), label=case.plan.label
+        ),
+    )
+
+    # -- 2. workload shrink -------------------------------------------------
+    def try_accept(candidate: FuzzCase) -> bool:
+        nonlocal best
+        if runs >= max_runs:
+            return False
+        if _preserves(evaluate(candidate).violation_codes, target):
+            best = candidate
+            return True
+        return False
+
+    count = best.n_transactions
+    while count > 1:
+        half = max(1, count // 2)
+        if half < count and try_accept(replace(best, n_transactions=half)):
+            count = half
+            continue
+        if try_accept(replace(best, n_transactions=count - 1)):
+            count -= 1
+            continue
+        break
+    while best.txn_length > 1:
+        if not try_accept(replace(best, txn_length=best.txn_length - 1)):
+            break
+
+    final = evaluate(best)
+    return ShrinkOutcome(case=best, result=final, target_codes=target, runs=runs)

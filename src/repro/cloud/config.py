@@ -88,6 +88,20 @@ class CloudConfig:
     commit_variant: CommitVariant = PRESUMED_NOTHING
     #: Per-request timeout for protocol RPCs (None = wait forever).
     request_timeout: Optional[float] = 200.0
+    #: Coordinator RPC retries after a request timeout (0 = the historical
+    #: fail-fast behaviour: first timeout aborts the transaction).  With
+    #: retries on, participants deduplicate re-sent EXECUTE / PREPARE /
+    #: DECISION messages so a retry never re-applies effects or re-forces
+    #: log records.  See docs/robustness.md.
+    rpc_max_retries: int = 0
+    #: Backoff before retry ``k`` (1-based): ``base * factor**(k-1)``
+    #: simulation units.  Also paces in-doubt resolution retries.
+    rpc_backoff_base: float = 5.0
+    rpc_backoff_factor: float = 2.0
+    #: DECISION_REQUEST retries a recovering participant sends before
+    #: giving up on resolving an in-doubt transaction (it stays in doubt;
+    #: a later recovery run retries from scratch).
+    recovery_max_retries: int = 3
     #: Concurrent compute slots per server (None = unbounded).  Bounding
     #: this makes server saturation visible in load experiments: query
     #: execution, proof evaluation, and constraint checking each hold one

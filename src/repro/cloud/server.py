@@ -23,7 +23,7 @@ from repro.db.locks import LockManager, LockMode
 from repro.db.recovery import analyze
 from repro.db.storage import StorageEngine
 from repro.db.wal import STREAMING_COMPACT_AT, LogRecordType, WriteAheadLog
-from repro.errors import DeadlockError, PolicyError
+from repro.errors import DeadlockError, NetworkError, PolicyError, RequestTimeout
 from repro.metrics.counters import Metrics
 from repro.metrics.timeline import PROOF_EVAL
 from repro.obs.spans import (
@@ -82,6 +82,10 @@ class _TxnState:
     coordinator: str
     queries: List[_ExecutedQuery] = field(default_factory=list)
     prepared: bool = False
+    #: Reply payload of the first PREPARE_TO_COMMIT, replayed verbatim on a
+    #: duplicate (coordinator retry after a lost reply) so the vote is not
+    #: re-derived and PREPARED is not force-logged twice.
+    vote_reply: Optional[Dict[str, Any]] = None
 
 
 class CloudServer(Node):
@@ -296,6 +300,59 @@ class CloudServer(Node):
         span = self._handler_span(message, "server.execute", query_id=query.query_id)
         try:
             state = self._txns.setdefault(txn_id, _TxnState(txn_id, coordinator=message.src))
+            # Duplicate EXECUTE (coordinator retry after a lost reply):
+            # replay the result from the workspace instead of re-applying
+            # write deltas.  Reads happen under the still-held locks, so
+            # the access log stays lock-covered.
+            duplicate = next(
+                (
+                    executed
+                    for executed in state.queries
+                    if executed.query.query_id == query.query_id
+                ),
+                None,
+            )
+            if duplicate is not None:
+                values = {item: self.storage.read(txn_id, item) for item in query.items}
+                policy = self.policies.current(duplicate.admin)
+                proof = duplicate.latest_proof
+                self.reply(
+                    message,
+                    msg.QUERY_RESULT,
+                    msg.CAT_QUERY,
+                    txn_id=txn_id,
+                    query_id=query.query_id,
+                    values=values,
+                    proof=proof,
+                    granted=(proof.granted if proof is not None else None),
+                    admin=duplicate.admin,
+                    version=policy.version,
+                    policy=policy,
+                    capabilities=[],
+                )
+                return
+            # Coordinator's view of what this server already executed for
+            # the transaction.  Anything missing means a crash wiped the
+            # workspace (earlier writes included) and a retry silently
+            # recreated partial state — refuse rather than resume.
+            known = {executed.query.query_id for executed in state.queries}
+            missing = [
+                query_id
+                for query_id in message.get("expected_queries", ())
+                if query_id not in known
+            ]
+            if missing:
+                self._rollback_local(txn_id)
+                self.reply(
+                    message,
+                    msg.QUERY_DENIED,
+                    msg.CAT_QUERY,
+                    txn_id=txn_id,
+                    query_id=query.query_id,
+                    reason="state-lost",
+                    detail=f"prior queries lost in a crash: {', '.join(missing)}",
+                )
+                return
             locks = self._lock_manager()
             mode = (
                 LockMode.EXCLUSIVE if query.operation is Operation.WRITE else LockMode.SHARED
@@ -304,6 +361,10 @@ class CloudServer(Node):
                 try:
                     yield locks.acquire(txn_id, item, mode, span=span)
                 except DeadlockError as error:
+                    if self.is_down:
+                        # Crash teardown failed the wait; a dead server
+                        # neither rolls back (already done) nor replies.
+                        return
                     self._rollback_local(txn_id)
                     self.reply(
                         message,
@@ -323,6 +384,10 @@ class CloudServer(Node):
                 name="cpu.query",
             )
 
+            # A crash while this handler consumed CPU leaves it running on a
+            # dead server; it must not touch storage or send anything.
+            if self.is_down:
+                return
             # A global abort may have arrived while this handler was waiting on
             # locks or executing; in that case the transaction's state is gone
             # and we must not recreate workspaces or locks for it.
@@ -359,6 +424,8 @@ class CloudServer(Node):
                 proof = yield from self._evaluate(
                     txn_id, executed, phase="execution", parent=span
                 )
+                if self.is_down:
+                    return
 
             capabilities: List[Credential] = []
             if proof is not None and proof.granted and self.config.issue_capabilities:
@@ -512,6 +579,12 @@ class CloudServer(Node):
         it vouches for (and let a φ-inconsistent view commit).
         """
         state = self._txns.get(txn_id)
+        if state is None:
+            # Asked to vouch for a transaction this server has no state
+            # for: a crash wiped the workspace (writes and locks included),
+            # so a TRUE report would let a partially-lost transaction
+            # commit.  Report FALSE and let the coordinator abort.
+            return {"truth": False, "versions": {}, "policies": {}, "proofs": []}
         proofs: List[ProofOfAuthorization] = []
         snapshot: Dict[PolicyId, Policy] = {}
         if state is not None:
@@ -546,6 +619,8 @@ class CloudServer(Node):
         report: Optional[Dict[str, Any]] = None
         try:
             report = yield from self._validation_report(txn_id, parent=span)
+            if self.is_down:
+                return
             self.reply(message, msg.VALIDATE_REPLY, msg.CAT_VOTE, txn_id=txn_id, **report)
         finally:
             self.obs.finish(
@@ -560,6 +635,8 @@ class CloudServer(Node):
             for policy in message["policies"]:
                 self.policies.apply(policy)
             report = yield from self._validation_report(txn_id, parent=span)
+            if self.is_down:
+                return
             self.reply(message, msg.POLICY_UPDATED, msg.CAT_UPDATE, txn_id=txn_id, **report)
         finally:
             self.obs.finish(span, self.env.now)
@@ -573,12 +650,26 @@ class CloudServer(Node):
 
         span = self._handler_span(message, "server.vote", validate=validate)
         try:
+            # Duplicate PREPARE (coordinator retry after a lost reply):
+            # replay the recorded reply instead of re-deriving the vote and
+            # force-logging PREPARED a second time.
+            if state is not None and state.vote_reply is not None:
+                self.reply(message, msg.VOTE_REPLY, msg.CAT_VOTE, **state.vote_reply)
+                return
+            if state is None and self.wal.decision_for(txn_id) is not None:
+                # Late duplicate PREPARE for a transaction already resolved
+                # here: the decision is logged, a second vote would be a
+                # protocol-order violation.  Stay silent; the coordinator
+                # has long since moved on.
+                return
             yield from self._consume_cpu(
                 self.config.constraint_check_time,
                 trace_id=txn_id,
                 parent=span,
                 name="cpu.constraints",
             )
+            if self.is_down:
+                return
             reader = self.storage.effective_reader(txn_id)
             touched = (
                 set().union(*(set(executed.query.items) for executed in state.queries))
@@ -587,11 +678,19 @@ class CloudServer(Node):
             )
             integrity_ok, violated = self.constraints.check(reader, touched)
             vote = Vote.YES if integrity_ok else Vote.NO
+            if state is None:
+                # A crash wiped this transaction's workspace and locks: the
+                # writes it executed here are gone, so a YES vote would
+                # commit a partial transaction (and silently lose updates).
+                vote = Vote.NO
+                violated = ("execution-state-lost",)
 
             if validate:
                 report = yield from self._validation_report(txn_id, parent=span)
             else:
                 report = {"truth": True, "versions": {}, "policies": {}, "proofs": []}
+            if self.is_down:
+                return
 
             # "a participant must forcibly log the set of (vi, pi) tuples along
             # with its vote and truth value" (Section V-C).
@@ -603,6 +702,10 @@ class CloudServer(Node):
                 else None
             )
             yield self.env.timeout(self.config.log_force_time)
+            if self.is_down:
+                # Crashed before the force hit disk: no PREPARED record, no
+                # vote — presumed abort resolves the transaction.
+                return
             self.wal.force(
                 LogRecordType.PREPARED,
                 txn_id,
@@ -610,22 +713,21 @@ class CloudServer(Node):
                 vote=vote.value,
                 truth=report["truth"],
                 versions={pid.admin: ver for pid, ver in report["versions"].items()},
-                writes=dict(self.storage.workspace(txn_id).writes),
+                writes=dict(self.storage.workspace(txn_id).writes) if state is not None else {},
                 coordinator=message.src,
             )
             self.obs.finish(log_span, self.env.now, record="prepared")
+            reply_payload = {
+                "txn_id": txn_id,
+                "vote": vote,
+                "violated": violated,
+                **report,
+            }
             if state is not None:
                 state.prepared = True
+                state.vote_reply = reply_payload
 
-            self.reply(
-                message,
-                msg.VOTE_REPLY,
-                msg.CAT_VOTE,
-                txn_id=txn_id,
-                vote=vote,
-                violated=violated,
-                **report,
-            )
+            self.reply(message, msg.VOTE_REPLY, msg.CAT_VOTE, **reply_payload)
         finally:
             self.obs.finish(span, self.env.now)
 
@@ -647,6 +749,13 @@ class CloudServer(Node):
             detached=not ack,
         )
         try:
+            # Duplicate DECISION (coordinator retry after a lost ack): the
+            # transaction is already resolved and applied — re-ack without
+            # re-logging or re-applying storage effects.
+            if self._txns.get(txn_id) is None and self.wal.decision_for(txn_id) is not None:
+                if ack:
+                    self.reply(message, msg.DECISION_ACK, msg.CAT_DECISION, txn_id=txn_id)
+                return
             record_type = (
                 LogRecordType.COMMIT if decision is Decision.COMMIT else LogRecordType.ABORT
             )
@@ -659,6 +768,8 @@ class CloudServer(Node):
                     else None
                 )
                 yield self.env.timeout(self.config.log_force_time)
+                if self.is_down:
+                    return  # crashed before the force: decision not durable here
                 self.wal.force(record_type, txn_id, self.env.now)
                 self.obs.finish(log_span, self.env.now, record=record_type.value)
             else:
@@ -685,18 +796,22 @@ class CloudServer(Node):
     # -- crash & recovery -------------------------------------------------------------------
 
     def on_crash(self) -> None:
-        """Volatile state vanishes: workspaces, lock table, txn bookkeeping."""
+        """Volatile state vanishes: workspaces, lock table, txn bookkeeping.
+
+        The lock table is torn down in place (:meth:`LockManager.on_crash`)
+        rather than replaced: replacing it orphaned every queued waiter
+        event — handler processes blocked on ``acquire`` stayed parked
+        forever and their transactions' locks on *other* servers leaked
+        until timeout.  Teardown fails those waits so the handlers unwind
+        (and, being down, go silent).
+        """
         for txn_id in list(self.storage.active_transactions()):
             self.storage.discard(txn_id)
         self._txns.clear()
-        if self.env is not None:
-            self.locks = LockManager(
-                self.env,
-                self.name,
-                tracer=self.tracer,
-                obs=self.obs,
-                on_wait=self._on_lock_wait(),
-            )
+        if self.locks is not None:
+            waits_cancelled, locks_dropped = self.locks.on_crash()
+            self.metrics.faults.lock_waits_cancelled += waits_cancelled
+            self.metrics.faults.locks_dropped_on_crash += locks_dropped
 
     def on_recover(self) -> None:
         """Replay the WAL: redo logged commits, resolve in-doubt transactions."""
@@ -728,16 +843,40 @@ class CloudServer(Node):
             self.storage.install(key, value)
 
     def _resolve_in_doubt(self, txn_id: str, coordinator: str) -> Generator[Event, Any, None]:
-        """Termination protocol: ask the coordinator how the txn ended."""
-        reply = yield self.request(
-            coordinator,
-            msg.DECISION_REQUEST,
-            msg.CAT_RECOVERY,
-            timeout=self.config.request_timeout,
-            txn_id=txn_id,
-        )
+        """Termination protocol: ask the coordinator how the txn ended.
+
+        The DECISION_REQUEST is retried with exponential backoff up to
+        ``config.recovery_max_retries`` times — under a lossy network a
+        single unanswered probe used to kill this process (and leave the
+        participant in doubt, its locks and workspace pinned) forever.
+        """
+        attempts = 0
+        while True:
+            try:
+                reply = yield self.request(
+                    coordinator,
+                    msg.DECISION_REQUEST,
+                    msg.CAT_RECOVERY,
+                    timeout=self.config.request_timeout,
+                    txn_id=txn_id,
+                )
+                break
+            except (RequestTimeout, NetworkError):
+                attempts += 1
+                if attempts > self.config.recovery_max_retries:
+                    self.metrics.faults.in_doubt_unresolved += 1
+                    return
+                self.metrics.faults.on_retry()
+                yield self.env.timeout(
+                    self.config.rpc_backoff_base
+                    * self.config.rpc_backoff_factor ** (attempts - 1)
+                )
+        if self.is_down:
+            return  # crashed again while waiting; the next recovery retries
         decision: Decision = reply["decision"]
         yield self.env.timeout(self.config.log_force_time)
+        if self.is_down:
+            return
         record_type = (
             LogRecordType.COMMIT if decision is Decision.COMMIT else LogRecordType.ABORT
         )
@@ -745,3 +884,4 @@ class CloudServer(Node):
         if decision is Decision.COMMIT:
             self._redo_from_log(txn_id)
         self.wal.append(LogRecordType.END, txn_id, self.env.now)
+        self.metrics.faults.in_doubt_resolved += 1

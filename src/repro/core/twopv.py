@@ -151,8 +151,11 @@ def run_2pv(
     rounds = 0
     try:
         # Collection phase, round 1: Prepare-to-Validate to every participant.
+        # Retry-capable RPC when the TM provides one (bare protocol stubs in
+        # unit tests don't); identical to tm.request with retries disabled.
+        rpc = getattr(tm, "rpc_event", tm.request)
         events = [
-            tm.request(
+            rpc(
                 server,
                 msg.PREPARE_TO_VALIDATE,
                 msg.CAT_VOTE,
@@ -199,7 +202,7 @@ def run_2pv(
             # re-run the collection phase for them (Algorithm 1 steps 10-11).
             stale_servers = list(outdated)
             events = [
-                tm.request(
+                rpc(
                     server,
                     msg.POLICY_UPDATE,
                     msg.CAT_UPDATE,

@@ -81,11 +81,14 @@ def broadcast_decision(
 
     expects_ack = variant.acknowledges(decision)
     participant_forces = variant.participant_forces(decision)
+    # Retry-capable RPC when the TM provides one (bare protocol stubs in
+    # unit tests don't); identical to tm.request with retries disabled.
+    rpc = getattr(tm, "rpc_event", tm.request)
     ack_events = []
     for server in participants:
         if expects_ack:
             ack_events.append(
-                tm.request(
+                rpc(
                     server,
                     msg.DECISION,
                     msg.CAT_DECISION,
@@ -176,8 +179,9 @@ def run_2pvc(
             obs.finish(log_span, tm.env.now, record="begin")
 
         # -- voting phase (round 1): Prepare-to-Commit -----------------------------
+        rpc = getattr(tm, "rpc_event", tm.request)
         events = [
-            tm.request(
+            rpc(
                 server,
                 msg.PREPARE_TO_COMMIT,
                 msg.CAT_VOTE,
@@ -243,7 +247,7 @@ def run_2pvc(
 
             stale_servers = list(outdated)
             events = [
-                tm.request(
+                rpc(
                     server,
                     msg.POLICY_UPDATE,
                     msg.CAT_UPDATE,

@@ -232,6 +232,34 @@ class LockManager:
             self._trace(LOCK_RELEASE, txn_id, key, None)
             self._promote(key, state)
 
+    def on_crash(self) -> Tuple[int, int]:
+        """Crash teardown: the volatile lock table vanishes with the server.
+
+        Every queued wait is failed (so a handler blocked on ``acquire``
+        unwinds instead of waiting on an event nobody will ever resolve —
+        the leak this method exists to plug: replacing the manager wholesale
+        left those events dangling forever) and every granted lock is
+        dropped *without* a ``lock.release`` trace — the crash excuse in
+        :mod:`repro.verify.conformance` covers them, a release record would
+        claim an orderly 2PL release that never happened.
+
+        Returns ``(waits_cancelled, locks_dropped)`` for fault accounting.
+        """
+        waits_cancelled = 0
+        for key in sorted(self._locks):
+            state = self._locks[key]
+            for entry in state.queue:
+                if not entry.event.triggered:
+                    entry.event.fail(
+                        DeadlockError(victim=entry.txn_id, cycle=("crashed", key))
+                    )
+                    self.obs.finish(entry.span, self.env.now, status="crashed")
+                    waits_cancelled += 1
+        locks_dropped = sum(len(keys) for keys in self._held_by_txn.values())
+        self._locks.clear()
+        self._held_by_txn.clear()
+        return waits_cancelled, locks_dropped
+
     def _promote(self, key: str, state: _LockState) -> None:
         """Grant queued requests FIFO as compatibility allows."""
         while state.queue:

@@ -182,6 +182,76 @@ class ProofCacheCounters:
         return self.hits / self.lookups if self.lookups else 0.0
 
 
+class FaultCounters:
+    """Fault-injection and graceful-degradation accounting.
+
+    Populated by the network (drops, crashes, recoveries, request
+    timeouts), the transaction manager's retry wrapper, the lock manager's
+    crash teardown, and the recovery path's in-doubt resolution.  Host-side
+    accounting only — never part of the Table I complexity numbers — but
+    essential for auditing chaos runs: a fault schedule whose injected
+    drops don't show up here was not actually applied.
+    """
+
+    def __init__(self) -> None:
+        #: Messages dropped, by reason: ``link`` (failed link), ``rate``
+        #: (probabilistic drop), ``chaos`` (fault-plan verdict), ``down``
+        #: (destination crashed at delivery time).
+        self.drops_by_reason: Counter = Counter()
+        self.crashes = 0
+        self.recoveries = 0
+        #: Request timeouts that actually fired (waiter failed).
+        self.timeouts = 0
+        #: RPC retry attempts after a timeout (retry wrapper enabled).
+        self.retries = 0
+        #: In-doubt transactions resolved via the termination protocol
+        #: after a crash restart, and those still unresolved after the
+        #: bounded retry budget.
+        self.in_doubt_resolved = 0
+        self.in_doubt_unresolved = 0
+        #: Queued lock waits failed by a crash teardown, and granted locks
+        #: discarded with them.
+        self.lock_waits_cancelled = 0
+        self.locks_dropped_on_crash = 0
+
+    @property
+    def messages_dropped(self) -> int:
+        return sum(self.drops_by_reason.values())
+
+    def on_drop(self, reason: str) -> None:
+        self.drops_by_reason[reason] += 1
+
+    def on_crash(self) -> None:
+        self.crashes += 1
+
+    def on_recovery(self) -> None:
+        self.recoveries += 1
+
+    def on_timeout(self) -> None:
+        self.timeouts += 1
+
+    def on_retry(self) -> None:
+        self.retries += 1
+
+    def snapshot(self) -> Dict[str, int]:
+        """Stable name → count map (drop reasons prefixed ``dropped_``)."""
+        counts: Dict[str, int] = {
+            f"dropped_{reason}": count
+            for reason, count in self.drops_by_reason.items()
+        }
+        counts.update(
+            crashes=self.crashes,
+            recoveries=self.recoveries,
+            timeouts=self.timeouts,
+            retries=self.retries,
+            in_doubt_resolved=self.in_doubt_resolved,
+            in_doubt_unresolved=self.in_doubt_unresolved,
+            lock_waits_cancelled=self.lock_waits_cancelled,
+            locks_dropped_on_crash=self.locks_dropped_on_crash,
+        )
+        return counts
+
+
 class VerificationCounters:
     """Trace-sanitizer accounting (see :mod:`repro.verify.conformance`).
 
@@ -231,6 +301,8 @@ class Metrics:
         self.regions = RegionMessageCounters()
         #: Trace-sanitizer results (runs, events checked, violations).
         self.verification = VerificationCounters()
+        #: Fault-injection accounting (drops, crashes, timeouts, retries).
+        self.faults = FaultCounters()
         #: Inference-engine work accounting (facts scanned, rules tried,
         #: table hits, …), accumulated across every uncached proof
         #: evaluation the servers run.  Host-side accounting only — never
@@ -359,4 +431,10 @@ def counter_samples(metrics: "Metrics") -> List[CounterSample]:
                 float(verification.violations_by_code[code]),
             )
         )
+    # Only nonzero fault events are emitted: fault-free runs (the default)
+    # keep their report and exposition byte-identical to before the fault
+    # layer existed.
+    for event, value in sorted(metrics.faults.snapshot().items()):
+        if value:
+            samples.append(CounterSample("fault_events", (("event", event),), float(value)))
     return samples

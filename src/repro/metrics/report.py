@@ -122,4 +122,9 @@ def format_counters_report(metrics: Any) -> str:
         parts.extend(
             ["", format_table(("counter", "value"), verify_rows, title="trace sanitizer")]
         )
+    fault_rows = [
+        (sample.label("event"), int(sample.value)) for sample in family("fault_events")
+    ]
+    if fault_rows:
+        parts.extend(["", format_table(("event", "count"), fault_rows, title="faults")])
     return "\n".join(parts)

@@ -35,6 +35,7 @@ FAMILY_HELP = {
     "verification_events_checked": "Events examined by the trace sanitizer.",
     "verification_transactions_checked": "Transactions examined by the trace sanitizer.",
     "verification_violations": "Conformance violations found, by code.",
+    "fault_events": "Fault-injection events (drops, crashes, timeouts, retries, ...).",
 }
 
 _NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")

@@ -161,11 +161,15 @@ class Node:
     def crash(self) -> None:
         """Crash the node: incoming messages are dropped until recovery."""
         self._down = True
+        if self.network is not None:
+            self.network.note_crash(self.name)
         self.on_crash()
 
     def recover(self) -> None:
         """Bring the node back up and run its recovery hook."""
         self._down = False
+        if self.network is not None:
+            self.network.note_recovery(self.name)
         self.on_recover()
 
     def on_crash(self) -> None:
@@ -254,6 +258,14 @@ class Network:
         self.spans = spans
         #: Optional object with an ``on_message(message)`` method (metrics).
         self.message_hook = message_hook
+        #: Fault accounting (:class:`repro.metrics.counters.FaultCounters`)
+        #: when the hook is a full :class:`~repro.metrics.counters.Metrics`
+        #: bundle; drops/crashes/timeouts are silent otherwise.
+        self.faults: Optional[Any] = getattr(message_hook, "faults", None)
+        #: Optional chaos hook (:class:`repro.chaos.nemesis.ChaosHook`):
+        #: consulted per send *after* link/rate checks, drawing from its own
+        #: seeded RNG stream so enabling it never perturbs the base trace.
+        self.chaos: Optional[Any] = None
         if not 0.0 <= drop_rate < 1.0:
             raise SimulationError(f"drop_rate must be in [0, 1), got {drop_rate!r}")
         self.drop_rate = drop_rate
@@ -298,6 +310,33 @@ class Network:
         self.failed_links.discard((src, dst))
         if bidirectional:
             self.failed_links.discard((dst, src))
+
+    # -- fault observation ---------------------------------------------------
+
+    def note_crash(self, name: str) -> None:
+        """Record a node crash (called by :meth:`Node.crash`).
+
+        Crash events reach the trace (``fault.crash``) so the conformance
+        checker can excuse locks a crashed participant never released, the
+        fault counters, and the flight recorder's evidence ring.
+        """
+        if self.faults is not None:
+            self.faults.on_crash()
+        if self.tracer is not None:
+            self.tracer.record(self.env.now, "fault.crash", node=name)
+        flight = getattr(self.message_hook, "flight", None)
+        if flight is not None:
+            flight.record(name, self.env.now, "fault.crash")
+
+    def note_recovery(self, name: str) -> None:
+        """Record a node restart (called by :meth:`Node.recover`)."""
+        if self.faults is not None:
+            self.faults.on_recovery()
+        if self.tracer is not None:
+            self.tracer.record(self.env.now, "fault.recover", node=name)
+        flight = getattr(self.message_hook, "flight", None)
+        if flight is not None:
+            flight.record(name, self.env.now, "fault.recover")
 
     # -- sending -----------------------------------------------------------
 
@@ -344,12 +383,37 @@ class Network:
                 msg_category=category,
                 **_correlation(message.payload),
             )
-        dropped = (
-            (src, dst) in self.failed_links
-            or (self.drop_rate > 0 and self.rng.random() < self.drop_rate)
-        )
-        if not dropped:
+        # Drop-reason resolution preserves the historical RNG consumption
+        # order exactly (link check short-circuits before the rate draw);
+        # the chaos hook runs last and draws only from its *own* seeded
+        # stream, so installing it never perturbs the base trace.
+        drop_reason: Optional[str] = None
+        extra_delay = 0.0
+        if (src, dst) in self.failed_links:
+            drop_reason = "link"
+        elif self.drop_rate > 0 and self.rng.random() < self.drop_rate:
+            drop_reason = "rate"
+        elif self.chaos is not None:
+            chaos_drop, extra_delay = self.chaos.on_send(message, self.env.now)
+            if chaos_drop:
+                drop_reason = "chaos"
+                extra_delay = 0.0
+        if drop_reason is not None:
+            if self.faults is not None:
+                self.faults.on_drop(drop_reason)
+            if self.tracer is not None:
+                self.tracer.record(
+                    self.env.now,
+                    "net.drop",
+                    src=src,
+                    dst=dst,
+                    kind=kind,
+                    reason=drop_reason,
+                    **_correlation(message.payload),
+                )
+        else:
             delay = self.latency.sample_message(self.rng, src, dst, message.payload)
+            delay += extra_delay
             env = self.env
             when = env._now + delay
             # Same-timestamp batching: if this message arrives at the exact
@@ -385,7 +449,11 @@ class Network:
     def _deliver_message(self, message: Message) -> None:
         node = self.nodes.get(message.dst)
         if node is None or node.is_down:
-            return  # dropped on the floor; requesters rely on timeouts
+            # Dropped on the floor; requesters rely on timeouts.  Counted
+            # so fault runs can audit where their messages went.
+            if self.faults is not None:
+                self.faults.on_drop("down")
+            return
         if self.tracer is not None:
             self.tracer.record(
                 self.env.now,
@@ -451,6 +519,8 @@ class Network:
                 rpc_span = self._pending_rpc.pop(message.msg_id, None)
                 if rpc_span is not None and self.spans is not None:
                     self.spans.finish(rpc_span, self.env.now, status="timeout")
+                if self.faults is not None:
+                    self.faults.on_timeout()
                 waiter.fail(RequestTimeout(f"{kind} {src}->{dst} timed out after {timeout}"))
 
             self.env.defer(timeout, _expire)

@@ -120,11 +120,63 @@ class TransactionManager(Node):
 
     # -- coordinator primitives used by the protocol generators ----------------------
 
+    def rpc_event(
+        self,
+        dst: str,
+        kind: str,
+        category: str,
+        timeout: Optional[float] = None,
+        span: Any = None,
+        **payload: Any,
+    ) -> Event:
+        """A coordinator RPC with optional bounded retry-with-backoff.
+
+        With ``config.rpc_max_retries == 0`` (the default) this *is*
+        ``self.request`` — the raw waiter event, no wrapper process — so
+        baseline traces stay bit-identical.  With retries enabled, a
+        timeout is retried after ``rpc_backoff_base * factor**k`` and the
+        returned process event fails with the final :class:`RequestTimeout`
+        only once the budget is exhausted.  Safe because participants
+        deduplicate re-sent EXECUTE / PREPARE / DECISION messages.
+        """
+        if self.config.rpc_max_retries <= 0:
+            return self.request(dst, kind, category, timeout=timeout, span=span, **payload)
+        return self.env.process(
+            self._request_with_retry(dst, kind, category, timeout, span, payload),
+            name=f"{self.name}.rpc[{kind}->{dst}]",
+        )
+
+    def _request_with_retry(
+        self,
+        dst: str,
+        kind: str,
+        category: str,
+        timeout: Optional[float],
+        span: Any,
+        payload: Dict[str, Any],
+    ) -> Generator[Event, Any, Message]:
+        attempts = 0
+        while True:
+            try:
+                reply = yield self.request(
+                    dst, kind, category, timeout=timeout, span=span, **payload
+                )
+                return reply
+            except RequestTimeout:
+                attempts += 1
+                if attempts > self.config.rpc_max_retries:
+                    raise
+                self.metrics.faults.on_retry()
+                yield self.env.timeout(
+                    self.config.rpc_backoff_base
+                    * self.config.rpc_backoff_factor ** (attempts - 1)
+                )
+
     def fetch_master_versions(
         self, ctx: TxnContext, admins: Optional[Tuple[PolicyId, ...]] = None
     ) -> Generator[Event, Any, Dict[PolicyId, int]]:
         """One master-version retrieval (counted as a single Table I message)."""
-        reply = yield self.request(
+        reply = yield self.rpc_event(
             self.config.master_name,
             msg.MASTER_VERSION_QUERY,
             msg.CAT_MASTER,
@@ -271,12 +323,16 @@ class TransactionManager(Node):
     def _execute_query(
         self, ctx: TxnContext, query: Query, server: str, evaluate: bool
     ) -> Generator[Event, Any, Message]:
+        # Queries this server has already executed for the transaction: the
+        # server cross-checks the list so a participant that crashed and
+        # lost its workspace cannot silently resume with partial state.
+        prior = tuple(q.query_id for q in ctx.queries_by_server.get(server, ()))
         # Record the participant *before* dispatch so that an abort after a
         # request timeout also reaches servers that never replied (they may
         # hold locks or queued waits for this transaction).
         ctx.note_participant(server, query)
         try:
-            reply = yield self.request(
+            reply = yield self.rpc_event(
                 server,
                 msg.EXECUTE_QUERY,
                 msg.CAT_QUERY,
@@ -287,17 +343,21 @@ class TransactionManager(Node):
                 user=ctx.txn.user,
                 credentials=ctx.all_credentials(),
                 evaluate_proof=evaluate,
+                expected_queries=prior,
             )
         except RequestTimeout:
             raise TransactionAborted(
                 AbortReason.PARTICIPANT_UNREACHABLE, f"query {query.query_id} to {server}"
             ) from None
         if reply.kind == msg.QUERY_DENIED:
-            reason = (
-                AbortReason.DEADLOCK
-                if reply["reason"] == "deadlock"
-                else AbortReason.USER_ABORT
-            )
+            if reply["reason"] == "deadlock":
+                reason = AbortReason.DEADLOCK
+            elif reply["reason"] == "state-lost":
+                # The participant crashed and lost this transaction's
+                # earlier queries; nothing it holds can be trusted.
+                reason = AbortReason.PARTICIPANT_UNREACHABLE
+            else:
+                reason = AbortReason.USER_ABORT
             raise TransactionAborted(reason, reply.get("detail", ""))
 
         ctx.executed_queries += 1

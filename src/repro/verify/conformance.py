@@ -16,10 +16,16 @@ ids with a minimal evidence slice.  ``check_run`` is pure: corrupting the
 event list (as the mutation tests do) and re-running it is the intended
 testing strategy.
 
-Scope: fault-free runs.  Crash/recovery intentionally violates several of
-these invariants transiently (lock tables are volatile, in-doubt
-transactions resolve late), so the sanitizer targets the fault-free
-workloads the ``CloudConfig.verify_traces`` hook runs under.
+Scope: fault-free *and* crash-faulted runs.  Node crashes are recorded in
+the trace (``fault.crash``, emitted by :meth:`repro.sim.network.Network.
+note_crash`), and the checks that would otherwise misfire on legitimate
+crash behaviour consult them: a lock granted on a server that crashed
+afterwards is excused from the strict-2PL release obligation (the volatile
+lock table died with the server — there is nothing left to release).
+Everything a crash does *not* excuse — committing without votes, applying
+without a commit record, consistency of what actually committed — is still
+checked, which is exactly what lets ``repro.chaos`` use this module as a
+violation hunter under fault schedules.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ NET_SEND = "net.send"
 PROOF_EVAL = "proof.eval"
 LOCK_GRANT = "lock.grant"
 LOCK_RELEASE = "lock.release"
+FAULT_CRASH = "fault.crash"
 
 _COMMIT = "commit"
 _ABORT = "abort"
@@ -549,8 +556,22 @@ def check_freshness(run: RunRecord, views: Dict[str, _TxnView]) -> List[Violatio
 # -- strict-2PL lock discipline -----------------------------------------------
 
 
+def _crash_times(run: RunRecord) -> Dict[str, List[float]]:
+    """Node → times it crashed (``fault.crash`` trace events), sorted."""
+    crashes: Dict[str, List[float]] = defaultdict(list)
+    for event in run.events:
+        if event.category == FAULT_CRASH:
+            node = event.get("node")
+            if node is not None and event.time is not None:
+                crashes[node].append(event.time)
+    for times in crashes.values():
+        times.sort()
+    return crashes
+
+
 def check_locks(run: RunRecord, views: Dict[str, _TxnView]) -> List[Violation]:
     violations: List[Violation] = []
+    crashes = _crash_times(run)
     for txn_id, view in views.items():
         servers = sorted(set(view.grants) | set(view.releases) | set(view.accesses))
         for server in servers:
@@ -607,9 +628,16 @@ def check_locks(run: RunRecord, views: Dict[str, _TxnView]) -> List[Violation]:
                             )
                         )
 
-            # Everything granted must eventually be released.
+            # Everything granted must eventually be released — unless the
+            # server crashed at/after the grant: its volatile lock table
+            # died with it, so there is nothing left to release (the crash
+            # teardown deliberately emits no lock.release records).
+            server_crashes = crashes.get(server, ())
             for key, key_grants in sorted(granted_keys.items()):
                 if key not in released_keys:
+                    first_grant = min(_time_of(grant) for grant in key_grants)
+                    if any(when >= first_grant for when in server_crashes):
+                        continue
                     violations.append(
                         make_violation(
                             rep.LOCK_UNRELEASED,

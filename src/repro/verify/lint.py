@@ -66,6 +66,7 @@ RULES: Dict[str, Tuple[str, Tuple[str, ...]]] = {
             "repro.core",
             "repro.db",
             "repro.policy",
+            "repro.chaos",
         ),
     ),
     "DET002": (
@@ -81,6 +82,7 @@ RULES: Dict[str, Tuple[str, Tuple[str, ...]]] = {
             "repro.core",
             "repro.db",
             "repro.workloads",
+            "repro.chaos",
         ),
     ),
     "DET004": (
@@ -95,6 +97,7 @@ RULES: Dict[str, Tuple[str, Tuple[str, ...]]] = {
             "repro.transactions",
             "repro.workloads",
             "repro.analysis",
+            "repro.chaos",
         ),
     ),
     "DET006": (

@@ -1,0 +1,104 @@
+"""Anomaly taxonomy: violation codes map to phenomenon names."""
+
+import pytest
+
+from repro.chaos.classify import (
+    COMMIT_PROTOCOL_DIVERGENCE,
+    DURABILITY_BREACH,
+    FRACTURED_POLICY_VIEW,
+    LOCK_DISCIPLINE_BREACH,
+    SERIALIZATION_CYCLE,
+    STALE_POLICY_COMMIT,
+    STALE_PROOF,
+    UNAUTHORIZED_COMMIT,
+    UNCLASSIFIED,
+    anomaly_histogram,
+    classify_report,
+    classify_violation,
+)
+from repro.verify import report as rep
+from repro.verify.report import VerificationReport, Violation
+
+
+def violation(code, txn_id="t1", message="evidence"):
+    return Violation(code=code, txn_id=txn_id, message=message)
+
+
+class TestDirectMapping:
+    @pytest.mark.parametrize(
+        "code,name",
+        [
+            (rep.CONSISTENCY_PHI, FRACTURED_POLICY_VIEW),
+            (rep.CONSISTENCY_PSI, STALE_POLICY_COMMIT),
+            (rep.CONSISTENCY_UNSAFE_COMMIT, UNAUTHORIZED_COMMIT),
+        ],
+    )
+    def test_paper_definitions(self, code, name):
+        anomaly = classify_violation(violation(code))
+        assert anomaly.name == name
+        assert anomaly.code == code
+        assert anomaly.txn_id == "t1"
+
+    @pytest.mark.parametrize(
+        "code,name",
+        [
+            ("freshness.continuous", STALE_PROOF),
+            ("locks.leaked", LOCK_DISCIPLINE_BREACH),
+            ("2pvc.decision-mismatch", COMMIT_PROTOCOL_DIVERGENCE),
+            ("wal.vote-without-prepared", DURABILITY_BREACH),
+        ],
+    )
+    def test_prefix_families(self, code, name):
+        assert classify_violation(violation(code)).name == name
+
+    def test_unknown_code_is_unclassified(self):
+        anomaly = classify_violation(violation("quantum.flux"))
+        assert anomaly.name == UNCLASSIFIED
+        assert anomaly.code == "quantum.flux"
+
+
+class TestCycleClassification:
+    def test_cycle_without_run_stays_generic(self):
+        cycle = violation(rep.SERIALIZABILITY_CYCLE, message="found cycle tA -> tB -> tA")
+        assert classify_violation(cycle).name == SERIALIZATION_CYCLE
+
+    def test_cycle_message_without_members_stays_generic(self):
+        cycle = violation(rep.SERIALIZABILITY_CYCLE, message="no members here")
+        assert classify_violation(cycle, run=None).name == SERIALIZATION_CYCLE
+
+    def test_describe_carries_evidence(self):
+        anomaly = classify_violation(violation(rep.CONSISTENCY_PHI, "tx", "proof spans"))
+        text = anomaly.describe()
+        assert "fractured-policy-view" in text
+        assert "tx" in text and "proof spans" in text
+
+
+class TestReportClassification:
+    def test_classifies_in_checker_order(self):
+        report = VerificationReport(
+            violations=[
+                violation(rep.CONSISTENCY_PSI, "a"),
+                violation(rep.CONSISTENCY_PHI, "b"),
+                violation("wal.lost-decision", "c"),
+            ]
+        )
+        names = [anomaly.name for anomaly in classify_report(report)]
+        assert names == [STALE_POLICY_COMMIT, FRACTURED_POLICY_VIEW, DURABILITY_BREACH]
+
+    def test_empty_report_classifies_empty(self):
+        assert classify_report(VerificationReport()) == []
+
+    def test_histogram_counts_by_name(self):
+        anomalies = classify_report(
+            VerificationReport(
+                violations=[
+                    violation(rep.CONSISTENCY_PHI, "a"),
+                    violation(rep.CONSISTENCY_PHI, "b"),
+                    violation(rep.CONSISTENCY_UNSAFE_COMMIT, "b"),
+                ]
+            )
+        )
+        assert anomaly_histogram(anomalies) == {
+            FRACTURED_POLICY_VIEW: 2,
+            UNAUTHORIZED_COMMIT: 1,
+        }

@@ -1,0 +1,48 @@
+"""The ``python -m repro.chaos`` entry point."""
+
+import json
+
+import pytest
+
+from repro.chaos.__main__ import default_nemesis, demo_scenarios, main
+
+
+class TestPlans:
+    def test_default_nemesis_shape(self):
+        plan = default_nemesis(3)
+        kinds = [spec.kind for spec in plan]
+        assert kinds == ["drop_rate", "crash"]
+        assert plan.by_kind("crash")[0].down_for is not None
+
+    def test_demo_scenarios_cover_both_levels(self):
+        scenarios = demo_scenarios()
+        assert {consistency for _, consistency, _ in scenarios} == {"view", "global"}
+        assert any(
+            spec.revoke for _, _, plan in scenarios for spec in plan
+        ), "one scenario must exercise revocation"
+
+
+class TestFuzzMode:
+    def test_clean_fuzz_run_exits_zero(self, tmp_path, capsys):
+        code = main(
+            [
+                "--cases", "1",
+                "--faults", "1",
+                "--transactions", "3",
+                "--seed", "7",
+                "--out", str(tmp_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all expectations held" in out
+        # Clean runs leave no counterexamples behind.
+        assert list(tmp_path.glob("counterexample-*.json")) == []
+
+    def test_budget_truncates_the_case_list(self, capsys):
+        code = main(
+            ["--cases", "50", "--transactions", "3", "--budget-seconds", "0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "budget exhausted" in out

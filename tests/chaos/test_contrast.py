@@ -1,0 +1,43 @@
+"""Contrast mode: the weak baseline violates where the paper's approaches hold."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.chaos.classify import UNAUTHORIZED_COMMIT
+from repro.chaos.contrast import WeakApproach
+from repro.chaos.fuzz import FuzzCase, run_case
+from repro.chaos.plan import FaultPlan, FaultSpec
+from repro.core.approaches import APPROACHES
+
+REVOKE_PLAN = FaultPlan(
+    (FaultSpec("policy_churn", at=8.0, admin="app", delay=2.0, revoke=True),),
+    label="revoke-contrast",
+)
+
+BASE = FuzzCase(seed=3, plan=REVOKE_PLAN, n_transactions=4)
+
+
+class TestWeakApproach:
+    def test_not_in_the_paper_registry(self):
+        """The baseline must stay out of APPROACHES: registry-sweeping tests
+        and Table I sweeps iterate it, and the weak mode is *supposed* to
+        fail conformance."""
+        assert "weak" not in APPROACHES
+        assert WeakApproach().name == "weak"
+
+    def test_commits_revoked_transactions(self):
+        result = run_case(replace(BASE, approach="weak"))
+        assert result.unsafe_commits > 0
+        assert UNAUTHORIZED_COMMIT in result.anomaly_names()
+        assert not result.ok
+
+    def test_paper_approach_clean_on_same_schedule(self):
+        result = run_case(replace(BASE, approach="deferred"))
+        assert result.ok
+        assert result.unsafe_commits == 0
+
+    def test_unsafe_commits_counted_per_commit(self):
+        result = run_case(replace(BASE, approach="weak"))
+        # unsafe commits are a subset of all commits
+        assert 0 < result.unsafe_commits <= result.committed

@@ -1,0 +1,50 @@
+"""Replayability: the same ``(seed, plan)`` reproduces the same run, bit for bit."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.chaos.fuzz import FuzzCase, run_case
+from repro.chaos.plan import FaultPlan, FaultSpec
+
+NOISY = FaultPlan(
+    (
+        FaultSpec("drop_rate", at=0.0, duration=60.0, rate=0.05),
+        FaultSpec("crash", at=15.0, node="s2", down_for=20.0),
+        FaultSpec("policy_churn", at=10.0, admin="app", delay=30.0),
+    ),
+    label="determinism-probe",
+)
+
+CASE = FuzzCase(seed=13, plan=NOISY, approach="deferred", n_transactions=4)
+
+
+class TestReplayability:
+    def test_same_case_same_trace_digest_and_verdict(self):
+        first = run_case(CASE)
+        second = run_case(CASE)
+        assert first.trace_digest == second.trace_digest
+        assert first.violation_codes == second.violation_codes
+        assert (first.committed, first.aborted) == (second.committed, second.aborted)
+        assert first.recovered_nodes == second.recovered_nodes
+
+    def test_different_seed_different_trace(self):
+        digests = {run_case(replace(CASE, seed=seed)).trace_digest for seed in (13, 14)}
+        assert len(digests) == 2
+
+    def test_plan_change_changes_trace(self):
+        quiet = replace(CASE, plan=FaultPlan(label="determinism-probe"))
+        assert run_case(quiet).trace_digest != run_case(CASE).trace_digest
+
+    def test_weak_approach_runs_deterministically(self):
+        case = replace(CASE, approach="weak", n_transactions=3)
+        assert run_case(case).trace_digest == run_case(case).trace_digest
+
+
+class TestCaseSerialization:
+    def test_round_trip_preserves_identity(self):
+        assert FuzzCase.from_dict(CASE.to_dict()) == CASE
+
+    def test_round_trip_preserves_behaviour(self):
+        clone = FuzzCase.from_dict(CASE.to_dict())
+        assert run_case(clone).trace_digest == run_case(CASE).trace_digest

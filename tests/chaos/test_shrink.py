@@ -1,0 +1,84 @@
+"""Counterexample shrinking: ddmin mechanics and end-to-end minimization."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.chaos.fuzz import FuzzCase, run_case
+from repro.chaos.plan import FaultPlan, FaultSpec
+from repro.chaos.shrink import _ddmin, shrink_case
+from repro.errors import SimulationError
+
+
+class TestDdmin:
+    def test_finds_minimal_pair(self):
+        # The "failure" needs items 2 and 5 together; everything else is noise.
+        kept = _ddmin(8, lambda subset: {2, 5} <= set(subset))
+        assert set(kept) == {2, 5}
+
+    def test_single_culprit(self):
+        assert _ddmin(10, lambda subset: 7 in subset) == (7,)
+
+    def test_always_failing_shrinks_to_empty(self):
+        assert _ddmin(6, lambda subset: True) == ()
+
+    def test_nothing_to_shrink(self):
+        assert _ddmin(0, lambda subset: True) == ()
+
+    def test_irreducible_set_kept_whole(self):
+        everything = tuple(range(4))
+        kept = _ddmin(4, lambda subset: set(subset) == set(everything))
+        assert kept == everything
+
+
+# One revoking churn (the culprit) buried in harmless noise faults.
+NOISY_PLAN = FaultPlan(
+    (
+        FaultSpec("delay", at=2.0, duration=5.0, delay=1.0),
+        FaultSpec("policy_churn", at=8.0, admin="app", delay=2.0, revoke=True),
+        FaultSpec("drop_rate", at=30.0, duration=10.0, rate=0.01),
+        FaultSpec("delay", at=40.0, duration=5.0, delay=2.0, src="s1"),
+    ),
+    label="shrink-probe",
+)
+
+VIOLATING = FuzzCase(seed=3, plan=NOISY_PLAN, approach="weak", n_transactions=6)
+
+
+class TestShrinkCase:
+    def test_clean_case_is_rejected(self):
+        clean = FuzzCase(seed=3, plan=FaultPlan(), approach="deferred", n_transactions=2)
+        with pytest.raises(SimulationError):
+            shrink_case(clean)
+
+    def test_shrink_is_monotone_and_preserves_codes(self):
+        baseline = run_case(VIOLATING)
+        assert baseline.violation_codes  # the probe must actually violate
+        outcome = shrink_case(VIOLATING)
+
+        # Never grows: faults, transactions, and transaction length only shrink.
+        assert len(outcome.case.plan) <= len(VIOLATING.plan)
+        assert outcome.case.n_transactions <= VIOLATING.n_transactions
+        assert outcome.case.txn_length <= VIOLATING.txn_length
+
+        # Every target code survives in the minimized case's re-verified run.
+        assert set(outcome.target_codes) <= set(outcome.result.violation_codes)
+        assert set(baseline.violation_codes) == set(outcome.target_codes)
+
+    def test_shrink_isolates_the_culprit_fault(self):
+        outcome = shrink_case(VIOLATING)
+        assert len(outcome.case.plan) == 1
+        (culprit,) = outcome.case.plan.specs
+        assert culprit.kind == "policy_churn"
+        assert culprit.revoke
+
+    def test_shrunk_case_replays_identically(self):
+        outcome = shrink_case(VIOLATING)
+        replay = run_case(outcome.case)
+        assert replay.trace_digest == outcome.result.trace_digest
+        assert replay.violation_codes == outcome.result.violation_codes
+
+    def test_run_budget_is_respected(self):
+        outcome = shrink_case(VIOLATING, max_runs=2)
+        assert outcome.runs <= 3  # baseline + budgeted candidates + confirm
+        assert set(outcome.target_codes) <= set(outcome.result.violation_codes)

@@ -1,0 +1,154 @@
+"""End-to-end crash recovery under the chaos nemesis.
+
+The sharpest window in 2PVC: a participant crashes *after* forcing its
+PREPARED record and sending its vote, but *before* the coordinator's
+decision reaches it.  The node is in doubt — it must neither forget the
+transaction (the vote is out; the coordinator may commit) nor guess.  On
+restart, WAL recovery runs the termination protocol (DECISION_REQUEST to
+the coordinator) and resolves the transaction.  These tests kill the
+participant at exactly that instant with a send-triggered crash fault and
+check that every approach recovers to a verify-clean history.
+"""
+
+import pytest
+
+from repro.chaos.fuzz import PAPER_APPROACHES, FuzzCase, run_case
+from repro.chaos.nemesis import Nemesis
+from repro.chaos.plan import FaultPlan, FaultSpec
+from repro.cloud import messages as msg
+from repro.cloud.config import CloudConfig
+from repro.core.consistency import ConsistencyLevel
+from repro.db.locks import LockMode
+from repro.sim.network import FixedLatency
+from repro.transactions.transaction import Query, Transaction
+from repro.workloads.testbed import build_cluster
+
+VIEW = ConsistencyLevel.VIEW
+
+#: Kill s2 the instant it sends its first 2PVC vote — i.e. right between
+#: the PREPARED force and the decision — and restart it 25 time units
+#: later, well after the coordinator has decided.
+VOTE_CRASH = FaultPlan(
+    (FaultSpec("crash", at=0.0, node="s2", on_kind=msg.VOTE_REPLY, down_for=25.0),),
+    label="vote-crash",
+)
+
+
+class TestVoteWindowCrash:
+    @pytest.mark.parametrize("approach", PAPER_APPROACHES)
+    def test_in_doubt_participant_recovers_clean(self, approach):
+        case = FuzzCase(
+            seed=5, plan=VOTE_CRASH, approach=approach, n_transactions=4
+        )
+        result = run_case(case)
+        assert result.ok, f"{approach}: {result.violation_codes}"
+        # The case must actually exercise the window: some work finished.
+        assert result.committed + result.aborted == case.n_transactions
+
+    def test_recovery_resolves_in_doubt_via_termination_protocol(self):
+        """Directed replay of the same window with counter-level assertions."""
+        config = CloudConfig(
+            latency=FixedLatency(1.0), request_timeout=15.0, rpc_max_retries=2
+        )
+        cluster = build_cluster(n_servers=3, seed=5, config=config)
+        nemesis = Nemesis(cluster, VOTE_CRASH)
+        nemesis.install()
+        credential = cluster.issue_role_credential("alice")
+        txn = Transaction(
+            "t-doubt",
+            "alice",
+            queries=(
+                Query.write("t-doubt-q1", deltas={"s1/x1": -5}),
+                Query.write("t-doubt-q2", deltas={"s2/x1": -5}),
+                Query.write("t-doubt-q3", deltas={"s3/x1": -5}),
+            ),
+            credentials=(credential,),
+        )
+        cluster.submit(txn, "deferred", VIEW)
+        cluster.run()
+        nemesis.recover_all()
+        cluster.run()
+
+        faults = cluster.metrics.faults
+        assert faults.crashes >= 1
+        assert faults.recoveries >= 1
+        # The restarted node found the PREPARED-without-decision record and
+        # resolved it by asking the coordinator.
+        assert faults.in_doubt_resolved >= 1
+        server = cluster.server("s2")
+        decision = server.wal.decision_for("t-doubt")
+        assert decision is not None
+        tm_decision = cluster.tm.wal.decision_for("t-doubt")
+        assert tm_decision is not None
+        assert decision.record_type is tm_decision.record_type
+        # Atomicity held: either all three writes applied, or none did.
+        values = {
+            name: cluster.server(name).storage.committed_value(f"{name}/x1")
+            for name in ("s1", "s2", "s3")
+        }
+        assert len(set(values.values())) == 1, values
+        report = cluster.verify()
+        assert report.ok, report.violations
+
+
+class TestLockLeakOnCrash:
+    def test_crash_cancels_waiters_and_drops_locks(self):
+        """Regression: a crash used to replace the lock table wholesale,
+        leaving queued waiters blocked on events nobody would ever resolve
+        (and counting nothing).  The teardown must fail the waits in place
+        and account for both the cancelled waits and the dropped locks."""
+        cluster = build_cluster(
+            n_servers=1, seed=9, config=CloudConfig(latency=FixedLatency(1.0))
+        )
+        server = cluster.server("s1")
+        locks = server._lock_manager()
+
+        granted = locks.acquire("t-holder", "s1/x1", LockMode.EXCLUSIVE)
+        cluster.run()
+        assert granted.ok
+        waiting = locks.acquire("t-waiter", "s1/x1", LockMode.EXCLUSIVE)
+        waiting.defused = True  # nobody yields on it; failure is the point
+        assert locks.waiting("s1/x1") == ("t-waiter",)
+
+        server.crash()
+
+        assert cluster.metrics.faults.lock_waits_cancelled >= 1
+        assert cluster.metrics.faults.locks_dropped_on_crash >= 1
+        assert locks.holders("s1/x1") == ()
+        assert locks.waiting("s1/x1") == ()
+        assert not waiting.ok  # the queued waiter was failed, not leaked
+
+
+class TestStateLossDetection:
+    def test_server_refuses_execution_after_losing_prior_queries(self):
+        """The coordinator names the queries it already ran on a server
+        (``expected_queries``); a server whose crash wiped them must refuse
+        instead of silently recreating partial transaction state."""
+        cluster = build_cluster(
+            n_servers=1, seed=17, config=CloudConfig(latency=FixedLatency(1.0))
+        )
+        credential = cluster.issue_role_credential("alice")
+        replies = []
+
+        def probe():
+            reply = yield cluster.tm.request(
+                "s1",
+                msg.EXECUTE_QUERY,
+                "query.execute",
+                txn_id="t-lost",
+                query=Query.write("t-lost-q2", deltas={"s1/x1": -1}),
+                user="alice",
+                credentials=(credential,),
+                evaluate_proof=False,
+                expected_queries=("t-lost-q1",),
+            )
+            replies.append(reply)
+
+        done = cluster.env.process(probe())
+        cluster.env.run(until=done)
+        (reply,) = replies
+        assert reply.kind == msg.QUERY_DENIED
+        assert reply["reason"] == "state-lost"
+        assert "t-lost-q1" in reply["detail"]
+        # The refused execution left nothing behind on the server.
+        assert cluster.server("s1").storage.active_transactions() == ()

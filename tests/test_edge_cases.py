@@ -73,10 +73,12 @@ class TestTrustedEdgeCases:
 
 
 class TestServerEdgeCases:
-    def test_prepare_to_commit_for_unknown_txn_votes_yes_empty(self):
-        """A 2PVC prepare reaching a server with no state for the txn (e.g.
-        after a local rollback) must not crash; it reports an empty,
-        truthful, constraint-clean vote."""
+    def test_prepare_to_commit_for_unknown_txn_votes_no(self):
+        """A 2PVC prepare reaching a server with no state for the txn (a
+        crash wiped it, or it was locally rolled back) must not crash —
+        and must vote NO: whatever this server executed for the
+        transaction is gone, so a YES would commit a partial transaction
+        and silently lose its writes."""
         cluster = build_cluster(
             n_servers=1, seed=31, config=CloudConfig(latency=FixedLatency(1.0))
         )
@@ -97,8 +99,8 @@ class TestServerEdgeCases:
         done = cluster.env.process(probe())
         cluster.env.run(until=done)
         reply = replies[0]
-        assert reply["vote"].value == "yes"
-        assert reply["truth"] is True
+        assert reply["vote"].value == "no"
+        assert reply["violated"] == ("execution-state-lost",)
         assert reply["proofs"] == []
 
     def test_write_query_records_new_value_in_reply(self):
